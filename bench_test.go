@@ -1,0 +1,98 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per figure, plus the headline numbers and the
+// reproduction-specific ablations). Run with:
+//
+//	go test -bench=. -benchmem              # smoke budget, minutes total
+//	go test -bench=Fig2 -benchtime=1x -tags=full
+//
+// Each iteration regenerates the complete figure; reported metrics therefore
+// measure the cost of one full reproduction of that experiment.
+package winofault
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fixed"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// benchConfig picks the experiment budget: -short (and the default bench
+// run) uses the smoke scale so the whole suite completes in a few minutes.
+func benchConfig(b *testing.B) experiments.Config {
+	b.Helper()
+	if testing.Short() {
+		return experiments.Smoke()
+	}
+	cfg := experiments.Smoke()
+	cfg.Samples = 12
+	return cfg
+}
+
+func benchExperiment(b *testing.B, id string) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (neuron- vs operation-level FI).
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2 regenerates Figure 2 (network-wise accuracy vs BER).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Figure 3 (layer-wise sensitivity).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4 (operation-type sensitivity).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (fine-grained TMR overhead).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (voltage vs BER vs accuracy).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (voltage-scaled energy).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkHeadline regenerates the paper's abstract summary numbers.
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// BenchmarkAblationSemantics compares the three fault semantics.
+func BenchmarkAblationSemantics(b *testing.B) { benchExperiment(b, "semantics") }
+
+// BenchmarkAblationTile compares winograd F(2x2,3x3) vs F(4x4,3x3).
+func BenchmarkAblationTile(b *testing.B) { benchExperiment(b, "tile") }
+
+// Engine microbenchmarks: the raw inference cost underlying every
+// experiment, per engine.
+
+func benchForward(b *testing.B, kind nn.EngineKind) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: kind, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	in := tensor.Quantize(
+		tensor.New(tensor.Shape{N: 1, C: 3, H: arch.In.H, W: arch.In.W}).Random(rng.New(2), 0.5),
+		fixed.Int16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in, nil)
+	}
+}
+
+// BenchmarkForwardDirect measures one VGG19-tiny inference, direct engine.
+func BenchmarkForwardDirect(b *testing.B) { benchForward(b, nn.Direct) }
+
+// BenchmarkForwardWinograd measures one VGG19-tiny inference, winograd engine.
+func BenchmarkForwardWinograd(b *testing.B) { benchForward(b, nn.Winograd) }

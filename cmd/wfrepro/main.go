@@ -1,0 +1,46 @@
+// Command wfrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wfrepro -exp fig1            # one experiment
+//	wfrepro -exp all             # everything (headline numbers last)
+//	wfrepro -exp fig5 -budget full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	winofault "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or comma list ("+list()+" or all)")
+	budget := flag.String("budget", "quick", "run size: smoke, quick or full")
+	flag.Parse()
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = winofault.Experiments()
+	}
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "running %s (%s budget)...\n", id, *budget)
+		if err := winofault.RunExperiment(id, *budget, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wfrepro:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func list() string {
+	out := ""
+	for i, id := range winofault.Experiments() {
+		if i > 0 {
+			out += "|"
+		}
+		out += id
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Command wfsim runs ad-hoc operation-level fault-injection campaigns:
+// pick a benchmark model, engine, precision and BER range, get the
+// golden-agreement accuracy table.
+//
+// Usage:
+//
+//	wfsim -model vgg19 -engine winograd -prec int16 -bers 1e-10,1e-9,1e-8
+//	wfsim -model resnet50 -engine direct -semantics result -layers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	winofault "repro"
+)
+
+func main() {
+	model := flag.String("model", "vgg19", "vgg19|resnet50|densenet169|googlenet")
+	engine := flag.String("engine", "direct", "direct|winograd")
+	prec := flag.String("prec", "int16", "int8|int16")
+	semantics := flag.String("semantics", "result", "result|operand|neuron")
+	bers := flag.String("bers", "1e-11,1e-10,1e-9,1e-8,1e-7", "comma-separated bit error rates")
+	width := flag.Float64("width", 0.125, "model width multiplier (1 = paper scale)")
+	input := flag.Int("input", 32, "input resolution")
+	samples := flag.Int("samples", 24, "evaluation images")
+	rounds := flag.Int("rounds", 2, "Monte-Carlo rounds")
+	seed := flag.Uint64("seed", 1, "root seed")
+	layers := flag.Bool("layers", false, "also print per-layer sensitivity at the middle BER")
+	flag.Parse()
+
+	cfg := winofault.Config{
+		Model:     *model,
+		WidthMult: *width,
+		InputSize: *input,
+		Samples:   *samples,
+		Rounds:    *rounds,
+		Seed:      *seed,
+	}
+	switch *engine {
+	case "direct":
+	case "winograd":
+		cfg.Engine = winofault.Winograd
+	default:
+		fatal("unknown engine %q", *engine)
+	}
+	switch *prec {
+	case "int16":
+	case "int8":
+		cfg.Precision = winofault.Int8
+	default:
+		fatal("unknown precision %q", *prec)
+	}
+	switch *semantics {
+	case "result":
+		cfg.Semantics = winofault.ResultFlip
+	case "operand":
+		cfg.Semantics = winofault.OperandFlip
+	case "neuron":
+		cfg.Semantics = winofault.NeuronFlip
+	default:
+		fatal("unknown semantics %q", *semantics)
+	}
+
+	var rates []float64
+	for _, s := range strings.Split(*bers, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal("bad BER %q: %v", s, err)
+		}
+		rates = append(rates, v)
+	}
+
+	sys, err := winofault.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sm, sa, fm, fa := sys.OpCounts()
+	fmt.Printf("%s / %s / %s / %s semantics\n", *model, *engine, *prec, *semantics)
+	fmt.Printf("ops per image: scaled %.3gM mul + %.3gM add; full-size %.3gG mul + %.3gG add\n",
+		float64(sm)/1e6, float64(sa)/1e6, float64(fm)/1e9, float64(fa)/1e9)
+	fmt.Printf("%-12s %s\n", "BER", "accuracy%")
+	for _, p := range sys.Sweep(rates) {
+		fmt.Printf("%-12.3g %.2f\n", p.BER, p.Accuracy*100)
+	}
+
+	if *layers {
+		mid := rates[len(rates)/2]
+		base, ls := sys.LayerSensitivities(mid)
+		fmt.Printf("\nlayer sensitivity at BER %.3g (baseline %.2f%%):\n", mid, base*100)
+		fmt.Printf("%-24s %10s %10s %12s\n", "layer", "ff-acc%", "vuln pp", "muls(full)")
+		for _, l := range ls {
+			fmt.Printf("%-24s %10.2f %10.2f %12d\n",
+				l.Layer, l.FaultFreeAccuracy*100, l.Vulnerability*100, l.Muls)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wfsim: "+format+"\n", args...)
+	os.Exit(1)
+}

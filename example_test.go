@@ -1,0 +1,38 @@
+package winofault_test
+
+import (
+	"fmt"
+	"log"
+
+	winofault "repro"
+)
+
+// ExampleNew shows the one-call setup of an evaluated system and the
+// operation-census comparison at the heart of the paper: winograd executes
+// the same network with ~2.25x fewer multiplications.
+func ExampleNew() {
+	st, err := winofault.New(winofault.Config{Model: "vgg19", Engine: winofault.Direct})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg, err := winofault.New(winofault.Config{Model: "vgg19", Engine: winofault.Winograd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, stMul, _ := st.OpCounts()
+	_, _, wgMul, _ := wg.OpCounts()
+	fmt.Printf("direct %.2fG muls, winograd %.2fG muls, ratio %.2f\n",
+		float64(stMul)/1e9, float64(wgMul)/1e9, float64(stMul)/float64(wgMul))
+	// Output: direct 0.40G muls, winograd 0.18G muls, ratio 2.25
+}
+
+// ExampleSystem_Accuracy demonstrates the golden-agreement contract: with no
+// faults injected, the system agrees with itself perfectly.
+func ExampleSystem_Accuracy() {
+	sys, err := winofault.New(winofault.Config{Model: "googlenet", Samples: 8, InputSize: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Accuracy(0))
+	// Output: 1
+}

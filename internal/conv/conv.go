@@ -1,0 +1,334 @@
+// Package conv implements standard (direct) convolution over quantized
+// tensors: the fast fault-free path, the exact operation census used by the
+// statistical fault sampler, and the bit-exact replay path that applies
+// sampled fault events to individual multiply/accumulate operations.
+//
+// Operation ordering (the contract between Census and fault replay):
+//
+//	mul index  = ((((n·OC+oc)·OH+oy)·OW+ox)·K + k,   k over (ic,ky,kx) row-major
+//	add index  = (((n·OC+oc)·OH+oy)·OW+ox)·A + s
+//
+// where K = IC·KH·KW products feed each output, and A = K-1 accumulation adds
+// plus one bias add when a bias is present. Add step s<K-1 merges product s+1
+// into the running partial; the final step adds the bias.
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/tensor"
+)
+
+// Params holds the immutable configuration of one convolution layer.
+type Params struct {
+	Weight *tensor.QTensor // Shape{N: outC, C: inC, H: kh, W: kw}
+	BiasF  []float64       // per-out-channel bias in real units; nil for none
+	Stride int
+	Pad    int
+	OutFmt fixed.Format
+}
+
+// NewParams quantizes a float weight tensor into wFmt and bundles the layer
+// configuration. The bias stays in real units and is requantized per call to
+// the accumulator scale of the incoming activation format.
+func NewParams(w *tensor.Tensor, bias []float64, stride, pad int, wFmt, outFmt fixed.Format) *Params {
+	if stride < 1 {
+		panic("conv: stride must be >= 1")
+	}
+	if pad < 0 {
+		panic("conv: negative padding")
+	}
+	if bias != nil && len(bias) != w.Shape.N {
+		panic(fmt.Sprintf("conv: bias length %d != out channels %d", len(bias), w.Shape.N))
+	}
+	return &Params{
+		Weight: tensor.Quantize(w, wFmt),
+		BiasF:  bias,
+		Stride: stride,
+		Pad:    pad,
+		OutFmt: outFmt,
+	}
+}
+
+// OutShape returns the output shape for an input shape.
+func (p *Params) OutShape(in tensor.Shape) tensor.Shape {
+	kh, kw := p.Weight.Shape.H, p.Weight.Shape.W
+	oh := (in.H+2*p.Pad-kh)/p.Stride + 1
+	ow := (in.W+2*p.Pad-kw)/p.Stride + 1
+	return tensor.Shape{N: in.N, C: p.Weight.Shape.N, H: oh, W: ow}
+}
+
+// Census returns the exact primitive-operation counts of one forward pass.
+func (p *Params) Census(in tensor.Shape) fault.Census {
+	return CensusFor(in, p.Weight.Shape.N, p.Weight.Shape.H, p.Weight.Shape.W,
+		p.Stride, p.Pad, p.BiasF != nil)
+}
+
+// CensusFor computes the direct-convolution op census from geometry alone,
+// without materializing weights — used to derive full-size (paper-scale)
+// fault intensities for scaled-down models.
+func CensusFor(in tensor.Shape, outC, kh, kw, stride, pad int, bias bool) fault.Census {
+	oh := (in.H+2*pad-kh)/stride + 1
+	ow := (in.W+2*pad-kw)/stride + 1
+	k := int64(in.C) * int64(kh) * int64(kw)
+	outs := int64(in.N) * int64(outC) * int64(oh) * int64(ow)
+	adds := k - 1
+	if bias {
+		adds++
+	}
+	return fault.Census{Mul: outs * k, Add: outs * adds}
+}
+
+// accumBias returns the bias vector scaled to the accumulator's fixed-point
+// scale 2^(inFrac+wFrac).
+func (p *Params) accumBias(inFmt fixed.Format) []int64 {
+	if p.BiasF == nil {
+		return nil
+	}
+	shift := inFmt.Frac + p.Weight.Fmt.Frac
+	out := make([]int64, len(p.BiasF))
+	for i, b := range p.BiasF {
+		v := b * float64(int64(1)<<uint(shift))
+		if v >= 0 {
+			out[i] = int64(v + 0.5)
+		} else {
+			out[i] = int64(v - 0.5)
+		}
+	}
+	return out
+}
+
+// Forward computes the fault-free convolution.
+func Forward(in *tensor.QTensor, p *Params) *tensor.QTensor {
+	return ForwardFaulty(in, p, nil)
+}
+
+// ForwardFaulty computes the convolution with the given fault events applied
+// bit-exactly at their op sites. The fast path computes the whole layer, then
+// every output element touched by an event is recomputed through the scalar
+// replay path with its events applied in op order.
+func ForwardFaulty(in *tensor.QTensor, p *Params, events []fault.Event) *tensor.QTensor {
+	ws := p.Weight.Shape
+	if in.Shape.C != ws.C {
+		panic(fmt.Sprintf("conv: input channels %d != weight channels %d", in.Shape.C, ws.C))
+	}
+	padded := in.Pad2D(p.Pad)
+	outShape := p.OutShape(in.Shape)
+	out := tensor.NewQ(outShape, p.OutFmt)
+	bias := p.accumBias(in.Fmt)
+	shift := in.Fmt.Frac + p.Weight.Fmt.Frac - p.OutFmt.Frac
+
+	oc, oh, ow := outShape.C, outShape.H, outShape.W
+	ic, kh, kw := ws.C, ws.H, ws.W
+	ph, pw := padded.Shape.H, padded.Shape.W
+
+	for n := 0; n < outShape.N; n++ {
+		for o := 0; o < oc; o++ {
+			var b int64
+			if bias != nil {
+				b = bias[o]
+			}
+			wBase := o * ic * kh * kw
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy * p.Stride
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox * p.Stride
+					acc := b
+					for c := 0; c < ic; c++ {
+						inBase := ((n*in.Shape.C+c)*ph + iy0) * pw
+						wRow := wBase + c*kh*kw
+						for ky := 0; ky < kh; ky++ {
+							inRow := inBase + ky*pw + ix0
+							wr := wRow + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								acc += int64(padded.Data[inRow+kx]) * int64(p.Weight.Data[wr+kx])
+							}
+						}
+					}
+					out.Data[outShape.Index(n, o, oy, ox)] = p.OutFmt.RequantizeShift(acc, shift)
+				}
+			}
+		}
+	}
+
+	if len(events) > 0 {
+		p.replayFaults(padded, in.Fmt, out, bias, shift, events)
+	}
+	return out
+}
+
+// outputOfEvent maps a fault event to the flat index of the output element it
+// corrupts.
+func (p *Params) outputOfEvent(ev fault.Event, outShape tensor.Shape) int {
+	k := int64(p.Weight.Shape.C) * int64(p.Weight.Shape.H) * int64(p.Weight.Shape.W)
+	if ev.Class == fault.OpMul {
+		return int(ev.Op / k)
+	}
+	adds := k - 1
+	if p.BiasF != nil {
+		adds++
+	}
+	return int(ev.Op / adds)
+}
+
+func (p *Params) replayFaults(padded *tensor.QTensor, inFmt fixed.Format, out *tensor.QTensor, bias []int64, shift int, events []fault.Event) {
+	outShape := out.Shape
+	byOutput := make(map[int][]fault.Event)
+	for _, ev := range events {
+		o := p.outputOfEvent(ev, outShape)
+		byOutput[o] = append(byOutput[o], ev)
+	}
+	for flat, evs := range byOutput {
+		ox := flat % outShape.W
+		oy := (flat / outShape.W) % outShape.H
+		o := (flat / (outShape.W * outShape.H)) % outShape.C
+		n := flat / (outShape.W * outShape.H * outShape.C)
+		out.Data[flat] = p.replayOutput(padded, inFmt, bias, shift, n, o, oy, ox, flat, evs)
+	}
+}
+
+// replayOutput recomputes one output element executing the MAC chain in op
+// order, applying the events that target it. Events are matched by their
+// local op step; the semantics (operand vs result flip) is encoded by the
+// Operand field being meaningful only for OperandFlip samples, so replay
+// distinguishes them via the Params' caller contract: events sampled with
+// ResultFlip always carry Operand == 0 and bit indices covering the result
+// register, which replay interprets through applyMulFault/applyAddFault.
+func (p *Params) replayOutput(padded *tensor.QTensor, inFmt fixed.Format, bias []int64, shift int, n, o, oy, ox, flat int, evs []fault.Event) int32 {
+	ws := p.Weight.Shape
+	ic, kh, kw := ws.C, ws.H, ws.W
+	k := ic * kh * kw
+	addsPerOut := k - 1
+	if p.BiasF != nil {
+		addsPerOut++
+	}
+	mulBase := int64(flat) * int64(k)
+	addBase := int64(flat) * int64(addsPerOut)
+
+	// Index events by local step for O(1) lookup during the chain walk.
+	mulEvents := make(map[int64][]fault.Event)
+	addEvents := make(map[int64][]fault.Event)
+	for _, ev := range evs {
+		if ev.Class == fault.OpMul {
+			mulEvents[ev.Op-mulBase] = append(mulEvents[ev.Op-mulBase], ev)
+		} else {
+			addEvents[ev.Op-addBase] = append(addEvents[ev.Op-addBase], ev)
+		}
+	}
+
+	w := p.Weight
+	iy0, ix0 := oy*p.Stride, ox*p.Stride
+	ph, pw := padded.Shape.H, padded.Shape.W
+
+	var acc int64
+	step := int64(0) // product index
+	for c := 0; c < ic; c++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				a := int64(padded.Data[((n*padded.Shape.C+c)*ph+iy0+ky)*pw+ix0+kx])
+				b := int64(w.Data[((o*ic+c)*kh+ky)*kw+kx])
+				prod := a * b
+				for _, ev := range mulEvents[step] {
+					prod = applyMulFault(ev, a, b, prod)
+					// Subsequent events on the same op re-derive operands
+					// from the current product only for result flips; operand
+					// flips recompute from the (already corrupted) operands.
+					// With independent uniform sampling, coincident events on
+					// one op are vanishingly rare; sequential application is
+					// the documented tie-break.
+					a, b = opAfterMulFault(ev, a, b)
+				}
+				if step == 0 {
+					acc = prod
+				} else {
+					addStep := step - 1
+					for _, ev := range addEvents[addStep] {
+						acc, prod = applyAddOperandFault(ev, acc, prod)
+					}
+					acc += prod
+					for _, ev := range addEvents[addStep] {
+						if isResultFlip(ev) {
+							acc = fixed.FlipBit(acc, uint(ev.Bit))
+						}
+					}
+				}
+				step++
+			}
+		}
+	}
+	if p.BiasF != nil {
+		b := bias[o]
+		biasStep := int64(k - 1)
+		for _, ev := range addEvents[biasStep] {
+			acc, b = applyAddOperandFault(ev, acc, b)
+		}
+		acc += b
+		for _, ev := range addEvents[biasStep] {
+			if isResultFlip(ev) {
+				acc = fixed.FlipBit(acc, uint(ev.Bit))
+			}
+		}
+	}
+	return p.OutFmt.RequantizeShift(acc, shift)
+}
+
+// Event semantics plumbing: rather than threading the Model through every
+// engine call, events carry enough information for replay. Operand-flip
+// events have Bit < operand width and a meaningful Operand field; result-flip
+// events are marked by the sampler with Operand == 0 and the engines are
+// invoked with the semantics recorded on the campaign. To keep the engine
+// self-contained we encode the semantics in the top bit of Operand.
+
+// MarkResultFlip tags events sampled under ResultFlip semantics so engine
+// replay applies them to result registers. Sample always emits Operand 0 for
+// ResultFlip; campaigns call this immediately after sampling.
+func MarkResultFlip(evs []fault.Event) {
+	for i := range evs {
+		evs[i].Operand = resultFlipMark
+	}
+}
+
+const resultFlipMark = 0x80
+
+func isResultFlip(ev fault.Event) bool { return ev.Operand&resultFlipMark != 0 }
+
+// applyMulFault returns the corrupted product of a*b for one event. Flips
+// are pure XOR at the sampled bit position: the severity comes from the bit
+// position range (W bits for operands, 2W for the product register), while
+// involution (flip twice = identity) holds regardless of value magnitude.
+func applyMulFault(ev fault.Event, a, b, prod int64) int64 {
+	if isResultFlip(ev) {
+		return fixed.FlipBit(prod, uint(ev.Bit))
+	}
+	if ev.Operand == 0 {
+		return fixed.FlipBit(a, uint(ev.Bit)) * b
+	}
+	return a * fixed.FlipBit(b, uint(ev.Bit))
+}
+
+// opAfterMulFault returns the operand values after an operand-flip event so
+// stacked events compose.
+func opAfterMulFault(ev fault.Event, a, b int64) (int64, int64) {
+	if isResultFlip(ev) {
+		return a, b
+	}
+	if ev.Operand == 0 {
+		return fixed.FlipBit(a, uint(ev.Bit)), b
+	}
+	return a, fixed.FlipBit(b, uint(ev.Bit))
+}
+
+// applyAddOperandFault corrupts the operands of an addition for operand-flip
+// events (result flips are applied after the add by the caller). Registers
+// are modelled at the W-bit datapath width (see fault.SurfaceBits).
+func applyAddOperandFault(ev fault.Event, partial, addend int64) (int64, int64) {
+	if isResultFlip(ev) {
+		return partial, addend
+	}
+	if ev.Operand == 0 {
+		return fixed.FlipBit(partial, uint(ev.Bit)), addend
+	}
+	return partial, fixed.FlipBit(addend, uint(ev.Bit))
+}

@@ -1,0 +1,379 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// buildLayer constructs a random quantized conv layer plus its float twin.
+func buildLayer(t *testing.T, seed uint64, inC, outC, kh, kw, stride, pad int, withBias bool) (*Params, *tensor.Tensor, []float64) {
+	t.Helper()
+	r := rng.New(seed)
+	w := tensor.New(tensor.Shape{N: outC, C: inC, H: kh, W: kw}).Random(r, 0.5)
+	var bias []float64
+	if withBias {
+		bias = make([]float64, outC)
+		for i := range bias {
+			bias[i] = r.NormFloat64() * 0.2
+		}
+	}
+	p := NewParams(w, bias, stride, pad, fixed.Int16, fixed.Int16)
+	return p, w, bias
+}
+
+func randInput(seed uint64, n, c, h, w int) (*tensor.Tensor, *tensor.QTensor) {
+	in := tensor.New(tensor.Shape{N: n, C: c, H: h, W: w}).Random(rng.New(seed), 1.0)
+	return in, tensor.Quantize(in, fixed.Int16)
+}
+
+func TestOutShape(t *testing.T) {
+	p, _, _ := buildLayer(t, 1, 3, 8, 3, 3, 1, 1, true)
+	got := p.OutShape(tensor.Shape{N: 2, C: 3, H: 32, W: 32})
+	if got != (tensor.Shape{N: 2, C: 8, H: 32, W: 32}) {
+		t.Errorf("same-pad 3x3 shape = %v", got)
+	}
+	p2, _, _ := buildLayer(t, 2, 3, 8, 7, 7, 2, 3, false)
+	got2 := p2.OutShape(tensor.Shape{N: 1, C: 3, H: 224, W: 224})
+	if got2 != (tensor.Shape{N: 1, C: 8, H: 112, W: 112}) {
+		t.Errorf("7x7/s2 shape = %v", got2)
+	}
+}
+
+func TestForwardMatchesFloatReference(t *testing.T) {
+	for _, cfg := range []struct {
+		name                      string
+		inC, outC, kh, kw, s, pad int
+		h, w                      int
+		bias                      bool
+	}{
+		{"3x3-pad1", 4, 6, 3, 3, 1, 1, 10, 10, true},
+		{"1x1", 8, 4, 1, 1, 1, 0, 7, 7, false},
+		{"5x5-stride2", 3, 5, 5, 5, 2, 2, 16, 16, true},
+		{"7x7-stride2", 3, 4, 7, 7, 2, 3, 20, 20, false},
+		{"rect-kernel", 2, 3, 1, 3, 1, 0, 6, 9, true},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			p, w, bias := buildLayer(t, 10, cfg.inC, cfg.outC, cfg.kh, cfg.kw, cfg.s, cfg.pad, cfg.bias)
+			inF, inQ := randInput(11, 2, cfg.inC, cfg.h, cfg.w)
+			got := tensor.Dequantize(Forward(inQ, p))
+			want := ForwardFloat(inF, w, bias, cfg.s, cfg.pad)
+			// Quantization error bound: each product carries <= LSB error from
+			// each operand; K products accumulate.
+			k := float64(cfg.inC * cfg.kh * cfg.kw)
+			bound := k * 3 * fixed.Int16.Scale()
+			if d := tensor.MaxAbsDiff(got, want); d > bound {
+				t.Errorf("max diff %v exceeds quantization bound %v", d, bound)
+			}
+		})
+	}
+}
+
+func TestCensus(t *testing.T) {
+	p, _, _ := buildLayer(t, 3, 4, 8, 3, 3, 1, 1, true)
+	in := tensor.Shape{N: 1, C: 4, H: 8, W: 8}
+	c := p.Census(in)
+	outs := int64(8 * 8 * 8)
+	k := int64(4 * 3 * 3)
+	if c.Mul != outs*k {
+		t.Errorf("muls = %d, want %d", c.Mul, outs*k)
+	}
+	if c.Add != outs*k { // k-1 accumulations + 1 bias
+		t.Errorf("adds = %d, want %d", c.Add, outs*k)
+	}
+	pNoBias, _, _ := buildLayer(t, 3, 4, 8, 3, 3, 1, 1, false)
+	if got := pNoBias.Census(in).Add; got != outs*(k-1) {
+		t.Errorf("adds without bias = %d, want %d", got, outs*(k-1))
+	}
+}
+
+func TestForwardFaultyNoEventsEqualsForward(t *testing.T) {
+	p, _, _ := buildLayer(t, 4, 3, 5, 3, 3, 1, 1, true)
+	_, inQ := randInput(5, 1, 3, 12, 12)
+	a := Forward(inQ, p)
+	b := ForwardFaulty(inQ, p, nil)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("nil event list changed output")
+		}
+	}
+}
+
+// bruteForceMulResultFlip computes the layer with an explicit per-op flip at
+// the given product index by redoing the arithmetic the slow, obvious way.
+func bruteForceMulResultFlip(inQ *tensor.QTensor, p *Params, mulIdx int64, bit uint) *tensor.QTensor {
+	padded := inQ.Pad2D(p.Pad)
+	outShape := p.OutShape(inQ.Shape)
+	out := tensor.NewQ(outShape, p.OutFmt)
+	bias := p.accumBias(inQ.Fmt)
+	shift := inQ.Fmt.Frac + p.Weight.Fmt.Frac - p.OutFmt.Frac
+	ws := p.Weight.Shape
+	k := int64(ws.C * ws.H * ws.W)
+	var op int64
+	for n := 0; n < outShape.N; n++ {
+		for o := 0; o < outShape.C; o++ {
+			for oy := 0; oy < outShape.H; oy++ {
+				for ox := 0; ox < outShape.W; ox++ {
+					var acc int64
+					first := true
+					for c := 0; c < ws.C; c++ {
+						for ky := 0; ky < ws.H; ky++ {
+							for kx := 0; kx < ws.W; kx++ {
+								a := int64(padded.At(n, c, oy*p.Stride+ky, ox*p.Stride+kx))
+								b := int64(p.Weight.At(o, c, ky, kx))
+								prod := a * b
+								if op == mulIdx {
+									prod = fixed.FlipBit(prod, bit)
+								}
+								op++
+								if first {
+									acc = prod
+									first = false
+								} else {
+									acc += prod
+								}
+							}
+						}
+					}
+					_ = k
+					if bias != nil {
+						acc += bias[o]
+					}
+					out.Set(n, o, oy, ox, p.OutFmt.RequantizeShift(acc, shift))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestReplayMulResultFlipMatchesBruteForce(t *testing.T) {
+	p, _, _ := buildLayer(t, 6, 2, 3, 3, 3, 1, 1, true)
+	_, inQ := randInput(7, 1, 2, 6, 6)
+	census := p.Census(inQ.Shape)
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		mulIdx := r.Int63n(census.Mul)
+		bit := uint(r.Intn(inQ.Fmt.ProductBits()))
+		ev := []fault.Event{{Class: fault.OpMul, Op: mulIdx, Bit: uint8(bit)}}
+		MarkResultFlip(ev)
+		got := ForwardFaulty(inQ, p, ev)
+		want := bruteForceMulResultFlip(inQ, p, mulIdx, bit)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: replay mismatch at %d: got %d want %d (op %d bit %d)",
+					trial, i, got.Data[i], want.Data[i], mulIdx, bit)
+			}
+		}
+	}
+}
+
+func TestReplayOperandFlipAffectsOnlyOneOutput(t *testing.T) {
+	p, _, _ := buildLayer(t, 8, 3, 4, 3, 3, 1, 1, true)
+	_, inQ := randInput(9, 1, 3, 8, 8)
+	census := p.Census(inQ.Shape)
+	golden := Forward(inQ, p)
+	r := rng.New(17)
+	changedAny := false
+	for trial := 0; trial < 100; trial++ {
+		ev := fault.Event{
+			Class:   fault.OpMul,
+			Op:      r.Int63n(census.Mul),
+			Bit:     uint8(r.Intn(16)),
+			Operand: uint8(r.Intn(2)),
+		}
+		faulty := ForwardFaulty(inQ, p, []fault.Event{ev})
+		diffs := 0
+		for i := range golden.Data {
+			if golden.Data[i] != faulty.Data[i] {
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("single mul fault changed %d outputs", diffs)
+		}
+		if diffs == 1 {
+			changedAny = true
+		}
+	}
+	if !changedAny {
+		t.Error("100 operand flips never changed any output (suspicious)")
+	}
+}
+
+func TestReplayAddFaultAffectsOnlyOneOutput(t *testing.T) {
+	p, _, _ := buildLayer(t, 18, 3, 4, 3, 3, 1, 1, true)
+	_, inQ := randInput(19, 1, 3, 8, 8)
+	census := p.Census(inQ.Shape)
+	golden := Forward(inQ, p)
+	r := rng.New(23)
+	for trial := 0; trial < 100; trial++ {
+		ev := fault.Event{
+			Class:   fault.OpAdd,
+			Op:      r.Int63n(census.Add),
+			Bit:     uint8(r.Intn(inQ.Fmt.Width)),
+			Operand: uint8(r.Intn(2)),
+		}
+		faulty := ForwardFaulty(inQ, p, []fault.Event{ev})
+		diffs := 0
+		for i := range golden.Data {
+			if golden.Data[i] != faulty.Data[i] {
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("single add fault changed %d outputs", diffs)
+		}
+	}
+}
+
+func TestOperandFlipMulSeverity(t *testing.T) {
+	// The induced output error of an operand flip on a multiplication must
+	// scale with the other operand: corrupting an activation bit against a
+	// large weight must move the output more than against a tiny weight.
+	f := fixed.Int16
+	mk := func(wval float64) (*Params, *tensor.QTensor) {
+		w := tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 1})
+		w.Data[0] = wval
+		p := NewParams(w, nil, 1, 0, f, f)
+		in := tensor.New(tensor.Shape{N: 1, C: 1, H: 1, W: 1})
+		in.Data[0] = 0.5
+		return p, tensor.Quantize(in, f)
+	}
+	errFor := func(wval float64) float64 {
+		p, inQ := mk(wval)
+		golden := Forward(inQ, p)
+		ev := []fault.Event{{Class: fault.OpMul, Op: 0, Bit: 12, Operand: 0}}
+		faulty := ForwardFaulty(inQ, p, ev)
+		return math.Abs(float64(faulty.Data[0] - golden.Data[0]))
+	}
+	small, large := errFor(0.01), errFor(50)
+	if large <= small {
+		t.Errorf("operand-flip error with large weight (%v) not larger than with small weight (%v)", large, small)
+	}
+}
+
+func TestStatisticalEquivalenceToBernoulli(t *testing.T) {
+	// Ground truth: per-op Bernoulli injection run the brute-force way must
+	// produce the same distribution of corrupted-output counts as the
+	// sampled-events path. We compare the mean number of changed outputs.
+	p, _, _ := buildLayer(t, 31, 2, 2, 3, 3, 1, 1, false)
+	_, inQ := randInput(32, 1, 2, 6, 6)
+	census := p.Census(inQ.Shape)
+	golden := Forward(inQ, p)
+	m := fault.Model{BER: 2e-4, Semantics: fault.ResultFlip}
+
+	countDiffs := func(out *tensor.QTensor) int {
+		d := 0
+		for i := range out.Data {
+			if out.Data[i] != golden.Data[i] {
+				d++
+			}
+		}
+		return d
+	}
+
+	const rounds = 800
+	r := rng.New(77)
+	var sampled float64
+	for i := 0; i < rounds; i++ {
+		evs := fault.Sample(r.Split(uint64(i)), census, census, m, inQ.Fmt, fault.Protection{})
+		MarkResultFlip(evs)
+		sampled += float64(countDiffs(ForwardFaulty(inQ, p, evs)))
+	}
+	sampled /= rounds
+
+	// Brute force: flip each op's result bits with independent Bernoulli.
+	var brute float64
+	rb := rng.New(78)
+	for i := 0; i < rounds; i++ {
+		var evs []fault.Event
+		for op := int64(0); op < census.Mul; op++ {
+			for bit := 0; bit < inQ.Fmt.ProductBits(); bit++ {
+				if rb.Bernoulli(m.BER) {
+					evs = append(evs, fault.Event{Class: fault.OpMul, Op: op, Bit: uint8(bit)})
+				}
+			}
+		}
+		for op := int64(0); op < census.Add; op++ {
+			for bit := 0; bit < inQ.Fmt.Width; bit++ {
+				if rb.Bernoulli(m.BER) {
+					evs = append(evs, fault.Event{Class: fault.OpAdd, Op: op, Bit: uint8(bit)})
+				}
+			}
+		}
+		MarkResultFlip(evs)
+		brute += float64(countDiffs(ForwardFaulty(inQ, p, evs)))
+	}
+	brute /= rounds
+
+	if brute == 0 {
+		t.Fatal("brute force produced no corruption; BER too low for test")
+	}
+	if ratio := sampled / brute; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("sampled/brute corrupted-output ratio = %v (sampled %v, brute %v)", ratio, sampled, brute)
+	}
+}
+
+func TestNewParamsValidation(t *testing.T) {
+	w := tensor.New(tensor.Shape{N: 2, C: 2, H: 3, W: 3})
+	for name, fn := range map[string]func(){
+		"stride0": func() { NewParams(w, nil, 0, 1, fixed.Int16, fixed.Int16) },
+		"negPad":  func() { NewParams(w, nil, 1, -1, fixed.Int16, fixed.Int16) },
+		"badBias": func() { NewParams(w, make([]float64, 3), 1, 1, fixed.Int16, fixed.Int16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestChannelMismatchPanics(t *testing.T) {
+	p, _, _ := buildLayer(t, 40, 3, 2, 3, 3, 1, 1, false)
+	_, inQ := randInput(41, 1, 4, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("channel mismatch did not panic")
+		}
+	}()
+	Forward(inQ, p)
+}
+
+func BenchmarkForward16x16x64(b *testing.B) {
+	r := rng.New(1)
+	w := tensor.New(tensor.Shape{N: 64, C: 64, H: 3, W: 3}).Random(r, 0.1)
+	p := NewParams(w, nil, 1, 1, fixed.Int16, fixed.Int16)
+	in := tensor.New(tensor.Shape{N: 1, C: 64, H: 16, W: 16}).Random(r, 1)
+	inQ := tensor.Quantize(in, fixed.Int16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(inQ, p)
+	}
+}
+
+func TestCensusForMatchesParamsCensus(t *testing.T) {
+	in := tensor.Shape{N: 2, C: 5, H: 17, W: 13}
+	for _, c := range []struct{ k, s, pad int }{{3, 1, 1}, {7, 2, 3}, {1, 1, 0}, {5, 2, 2}} {
+		for _, bias := range []bool{true, false} {
+			var bs []float64
+			if bias {
+				bs = make([]float64, 4)
+			}
+			w := tensor.New(tensor.Shape{N: 4, C: 5, H: c.k, W: c.k})
+			p := NewParams(w, bs, c.s, c.pad, fixed.Int16, fixed.Int16)
+			got := CensusFor(in, 4, c.k, c.k, c.s, c.pad, bias)
+			if got != p.Census(in) {
+				t.Errorf("k%d s%d bias=%v: CensusFor %v != Census %v", c.k, c.s, bias, got, p.Census(in))
+			}
+		}
+	}
+}

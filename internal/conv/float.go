@@ -1,0 +1,44 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ForwardFloat is the float64 reference convolution used for golden checks
+// and quantization-error bounds in tests. Weight shape is {outC, inC, kh, kw}.
+func ForwardFloat(in, w *tensor.Tensor, bias []float64, stride, pad int) *tensor.Tensor {
+	if in.Shape.C != w.Shape.C {
+		panic(fmt.Sprintf("conv: input channels %d != weight channels %d", in.Shape.C, w.Shape.C))
+	}
+	if stride < 1 {
+		panic("conv: stride must be >= 1")
+	}
+	padded := in.Pad2D(pad)
+	oh := (in.Shape.H+2*pad-w.Shape.H)/stride + 1
+	ow := (in.Shape.W+2*pad-w.Shape.W)/stride + 1
+	out := tensor.New(tensor.Shape{N: in.Shape.N, C: w.Shape.N, H: oh, W: ow})
+	for n := 0; n < out.Shape.N; n++ {
+		for o := 0; o < out.Shape.C; o++ {
+			var b float64
+			if bias != nil {
+				b = bias[o]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := b
+					for c := 0; c < w.Shape.C; c++ {
+						for ky := 0; ky < w.Shape.H; ky++ {
+							for kx := 0; kx < w.Shape.W; kx++ {
+								acc += padded.At(n, c, oy*stride+ky, ox*stride+kx) * w.At(o, c, ky, kx)
+							}
+						}
+					}
+					out.Set(n, o, oy, ox, acc)
+				}
+			}
+		}
+	}
+	return out
+}

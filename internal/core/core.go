@@ -1,0 +1,51 @@
+// Package core anchors the reproduction: it records the paper's identity and
+// quantitative claims, and wires the claim list to the experiment IDs that
+// regenerate them. The substance of the contribution lives in the sibling
+// packages (fault + winograd + faultsim form the operation-level platform;
+// tmr and volt are the two applications); core is the single place that maps
+// "what the paper says" to "what this repository measures".
+package core
+
+// Paper identifies the reproduced publication.
+var Paper = struct {
+	Title string
+	Venue string
+	Year  int
+	ArXiv string
+}{
+	Title: "Winograd Convolution: A Perspective from Fault Tolerance",
+	Venue: "DAC",
+	Year:  2022,
+	ArXiv: "2202.08675",
+}
+
+// Claim is one quantitative statement from the paper tied to the experiment
+// that reproduces it.
+type Claim struct {
+	ID         string  // experiment ID in internal/experiments
+	Statement  string  // the paper's claim
+	PaperValue float64 // headline number (percent, if applicable; 0 = shape-only)
+}
+
+// Claims lists the paper's evaluation results in presentation order.
+var Claims = []Claim{
+	{"fig1", "neuron-level FI cannot distinguish ST from WG convolution; operation-level FI can", 0},
+	{"fig2", "winograd networks retain up to ~35pp more accuracy than standard convolution at equal BER", 35},
+	{"fig3", "mid-network layers with the most multiplications are the most fault-sensitive", 0},
+	{"fig4", "multiplications are far more vulnerable than additions, under both engines", 0},
+	{"fig5", "fault-tolerance-aware winograd cuts fine-grained TMR overhead vs standard convolution", 61.21},
+	{"fig5", "fault-tolerance-aware winograd cuts TMR overhead vs unaware winograd", 27.49},
+	{"fig7", "fault-tolerance-aware winograd cuts voltage-scaled energy vs scaled standard convolution", 42.89},
+	{"fig7", "fault-tolerance-aware winograd cuts energy vs unaware winograd", 7.19},
+}
+
+// ClaimsFor returns the claims reproduced by one experiment ID.
+func ClaimsFor(id string) []Claim {
+	var out []Claim
+	for _, c := range Claims {
+		if c.ID == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}

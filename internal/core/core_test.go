@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestPaperIdentity(t *testing.T) {
+	if Paper.Year != 2022 || Paper.Venue != "DAC" || Paper.ArXiv != "2202.08675" {
+		t.Errorf("paper identity wrong: %+v", Paper)
+	}
+}
+
+func TestEveryClaimHasAnExperiment(t *testing.T) {
+	reg := experiments.Registry()
+	for _, c := range Claims {
+		if _, ok := reg[c.ID]; !ok {
+			t.Errorf("claim %q references unknown experiment %q", c.Statement, c.ID)
+		}
+	}
+}
+
+func TestClaimsFor(t *testing.T) {
+	if got := ClaimsFor("fig5"); len(got) != 2 {
+		t.Errorf("fig5 claims = %d, want 2", len(got))
+	}
+	if got := ClaimsFor("nope"); got != nil {
+		t.Errorf("unknown id returned %v", got)
+	}
+}
+
+func TestHeadlineNumbersPresent(t *testing.T) {
+	want := map[float64]bool{61.21: false, 27.49: false, 42.89: false, 7.19: false}
+	for _, c := range Claims {
+		if _, ok := want[c.PaperValue]; ok {
+			want[c.PaperValue] = true
+		}
+	}
+	for v, seen := range want {
+		if !seen {
+			t.Errorf("headline value %v missing from claims", v)
+		}
+	}
+}

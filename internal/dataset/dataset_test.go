@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixed"
+)
+
+func TestSyntheticGeometry(t *testing.T) {
+	s := Synthetic("test", 10, 25, 3, 16, 16, 1, fixed.Int16)
+	if s.N() != 25 {
+		t.Errorf("N = %d", s.N())
+	}
+	if len(s.Labels) != 25 {
+		t.Errorf("labels = %d", len(s.Labels))
+	}
+	for i, l := range s.Labels {
+		if l != i%10 {
+			t.Errorf("label[%d] = %d, want round-robin", i, l)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic("a", 4, 6, 3, 8, 8, 7, fixed.Int16)
+	b := Synthetic("b", 4, 6, 3, 8, 8, 7, fixed.Int16)
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != b.Images.Data[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := Synthetic("c", 4, 6, 3, 8, 8, 8, fixed.Int16)
+	same := true
+	for i := range a.Images.Data {
+		if a.Images.Data[i] != c.Images.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestSyntheticStatistics(t *testing.T) {
+	s := Synthetic("stats", 8, 64, 3, 16, 16, 3, fixed.Int16)
+	var sum, sumsq float64
+	for _, v := range s.Images.Data {
+		x := s.Images.Fmt.Dequantize(v)
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(s.Images.Data))
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.2 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if std < 0.4 || std > 1.6 {
+		t.Errorf("std = %v, want ~unit", std)
+	}
+}
+
+func TestSameClassMoreSimilar(t *testing.T) {
+	// Images sharing a prototype must correlate more than images that don't.
+	s := Synthetic("corr", 2, 8, 1, 16, 16, 5, fixed.Int16)
+	per := 16 * 16
+	img := func(i int) []int32 { return s.Images.Data[i*per : (i+1)*per] }
+	corr := func(a, b []int32) float64 {
+		var num, da, db float64
+		for i := range a {
+			num += float64(a[i]) * float64(b[i])
+			da += float64(a[i]) * float64(a[i])
+			db += float64(b[i]) * float64(b[i])
+		}
+		return num / math.Sqrt(da*db)
+	}
+	// 0,2,4,6 share class 0; 1,3,5,7 share class 1.
+	same := corr(img(0), img(2)) + corr(img(4), img(6))
+	diff := corr(img(0), img(1)) + corr(img(2), img(3))
+	if same <= diff {
+		t.Errorf("same-class correlation %v not above cross-class %v", same, diff)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := Synthetic("batch", 4, 10, 3, 8, 8, 9, fixed.Int8)
+	b := s.Batch(2, 5)
+	if b.Shape.N != 3 {
+		t.Errorf("batch N = %d", b.Shape.N)
+	}
+	per := 3 * 8 * 8
+	for i := 0; i < per; i++ {
+		if b.Data[i] != s.Images.Data[2*per+i] {
+			t.Fatal("batch content misaligned")
+		}
+	}
+	// Independence.
+	b.Data[0]++
+	if s.Images.Data[2*per] == b.Data[0] {
+		t.Error("batch shares storage with set")
+	}
+}
+
+func TestBatchPanicsOnBadRange(t *testing.T) {
+	s := Synthetic("bad", 2, 4, 1, 4, 4, 1, fixed.Int16)
+	for _, r := range [][2]int{{-1, 2}, {0, 5}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v did not panic", r)
+				}
+			}()
+			s.Batch(r[0], r[1])
+		}()
+	}
+}
+
+func TestForModel(t *testing.T) {
+	for name, classes := range map[string]int{"cifar10": 10, "cifar100": 32, "imagenet": 32} {
+		s := ForModel(name, 6, 16, 1, fixed.Int16)
+		if s.Classes != classes {
+			t.Errorf("%s: classes = %d, want %d (capped)", name, s.Classes, classes)
+		}
+		if s.Images.Shape.C != 3 || s.Images.Shape.H != 16 {
+			t.Errorf("%s: shape %v", name, s.Images.Shape)
+		}
+	}
+	if s := ForModel("unknown", 4, 8, 1, fixed.Int16); s.Classes != 10 {
+		t.Error("unknown dataset should default to 10 classes")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-class set did not panic")
+		}
+	}()
+	Synthetic("x", 1, 4, 1, 4, 4, 1, fixed.Int16)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/fault"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/winograd"
+)
+
+// ablationBERs is the sweep used by the reproduction-specific ablations.
+var ablationBERs = []float64{1e-10, 1e-9, 1e-8}
+
+// AblationSemantics compares the three injection semantics on VGG19 int16:
+// the winograd advantage must appear under both operation-level semantics
+// (operand and result flips) and vanish under neuron-level injection —
+// evidence that the paper's conclusion is not an artifact of one fault
+// model.
+func AblationSemantics(cfg Config) []*Figure {
+	fig := &Figure{
+		ID:     "ablation-semantics",
+		Title:  "Fault-semantics ablation: WG-ST accuracy gap per injection model (VGG19 int16)",
+		XLabel: "BER",
+		YLabel: "accuracy gap pp",
+	}
+	st := makeRig(cfg, "vgg19", nn.Direct, int16Fmt)
+	wg := makeRig(cfg, "vgg19", nn.Winograd, int16Fmt)
+	for _, sem := range []fault.Semantics{fault.OperandFlip, fault.ResultFlip, fault.NeuronFlip} {
+		c := cfg
+		c.Semantics = sem
+		sST := st.accuracySeries(c, "st", ablationBERs, st.opts(c))
+		sWG := wg.accuracySeries(c, "wg", ablationBERs, wg.opts(c))
+		gap := Series{Name: sem.String(), X: ablationBERs}
+		for i := range sST.Y {
+			gap.Y = append(gap.Y, sWG.Y[i]-sST.Y[i])
+		}
+		fig.Series = append(fig.Series, gap)
+	}
+	fig.Notes = append(fig.Notes,
+		"positive gap = winograd more fault tolerant; the neuron column should be ~0")
+	return []*Figure{fig}
+}
+
+// AblationTile compares F(2x2,3x3) against F(4x4,3x3): the larger tile cuts
+// multiplications further (4x vs 2.25x) but its bigger transform constants
+// spread and amplify transform-domain errors — the design trade-off noted in
+// DESIGN.md.
+func AblationTile(cfg Config) []*Figure {
+	fig := &Figure{
+		ID:     "ablation-tile",
+		Title:  "Winograd tile-size ablation: accuracy vs BER (VGG19 int16)",
+		XLabel: "BER",
+		YLabel: "accuracy %",
+	}
+	for _, tile := range []*winograd.Tile{winograd.F2, winograd.F4} {
+		c := cfg
+		c.Tile = tile
+		r := makeRig(c, "vgg19", nn.Winograd, int16Fmt)
+		fig.Series = append(fig.Series, r.accuracySeries(c, tile.Name, ablationBERs, r.opts(c)))
+	}
+	// Census comparison at full scale.
+	full, _ := models.ByName("vgg19", models.Options{})
+	c2 := models.TotalCensus(full, nn.Winograd, winograd.F2)
+	c4 := models.TotalCensus(full, nn.Winograd, winograd.F4)
+	cd := models.TotalCensus(full, nn.Direct, nil)
+	fig.Notes = append(fig.Notes,
+		note("full-size muls: direct %.2fG, F2 %.2fG, F4 %.2fG",
+			float64(cd.Mul)/1e9, float64(c2.Mul)/1e9, float64(c4.Mul)/1e9))
+	return []*Figure{fig}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke-level structural checks: every experiment runs, renders, and shows
+// the paper's qualitative shape where that is cheap to assert.
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline", "semantics", "tile"}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("IDs() = %v", IDs())
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := Run("nope", Smoke(), &bytes.Buffer{}); err == nil {
+		t.Error("unknown id did not error")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	figs := Fig1(Smoke())
+	if len(figs) != 1 {
+		t.Fatalf("fig count %d", len(figs))
+	}
+	f := figs[0]
+	if len(f.Series) != 4 {
+		t.Fatalf("series count %d, want 4", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(fig1BERs) || len(s.Y) != len(fig1BERs) {
+			t.Errorf("series %s has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 100 {
+				t.Errorf("series %s accuracy %v out of range", s.Name, y)
+			}
+		}
+	}
+	// Neuron-level series must track each other closely.
+	var gap float64
+	for i := range fig1BERs {
+		d := f.Series[3].Y[i] - f.Series[2].Y[i]
+		if d < 0 {
+			d = -d
+		}
+		gap += d
+	}
+	// Smoke runs 8 samples x 1 round: one diverging sample is 12.5 pp, so
+	// only a persistent >2-sample gap counts as a failure here (the tight
+	// assertion lives in faultsim's TestNeuronLevelCannotDistinguish).
+	if gap/float64(len(fig1BERs)) > 26 {
+		t.Errorf("neuron-level ST/WG gap too large: %v pp", gap/float64(len(fig1BERs)))
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	cfg := Smoke()
+	figs := Fig2(cfg)
+	if len(figs) != 4 {
+		t.Fatalf("want 4 panels, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 6 {
+			t.Fatalf("%s: series count %d, want 6", f.ID, len(f.Series))
+		}
+		// Accuracy should broadly degrade with BER for the measured series.
+		for _, si := range []int{0, 1, 3, 4} {
+			s := f.Series[si]
+			if s.Y[0] < s.Y[len(s.Y)-1]-5 {
+				t.Errorf("%s/%s: accuracy increases with BER: %v", f.ID, s.Name, s.Y)
+			}
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	figs := Fig3(Smoke())
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("series count %d", len(f.Series))
+	}
+	if len(f.Series[0].X) != 16 {
+		t.Errorf("VGG19 should have 16 conv layers, got %d", len(f.Series[0].X))
+	}
+	// Multiplication counts must be positive and vary across layers.
+	muls := f.Series[2].Y
+	first, varies := muls[0], false
+	for _, m := range muls {
+		if m <= 0 {
+			t.Fatalf("non-positive mul count %v", m)
+		}
+		if m != first {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("per-layer mul counts are constant; full-scale census wiring broken")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	figs := Fig4(Smoke())
+	f := figs[0]
+	if len(f.Series) != 4 || len(f.Series[0].X) != len(fig4Configs) {
+		t.Fatalf("malformed fig4: %d series, %d configs", len(f.Series), len(f.Series[0].X))
+	}
+	// Aggregate check: mul-fault-free recovers at least as much as
+	// add-fault-free on average (the paper's central Fig. 4 claim).
+	var mulSum, addSum float64
+	for i := range f.Series[0].X {
+		addSum += f.Series[0].Y[i] + f.Series[2].Y[i]
+		mulSum += f.Series[1].Y[i] + f.Series[3].Y[i]
+	}
+	if mulSum < addSum {
+		t.Errorf("fault-free muls (%v) recovered less than fault-free adds (%v)", mulSum, addSum)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	figs := Fig5(Smoke())
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("series count %d", len(f.Series))
+	}
+	// At smoke scale the Monte-Carlo quanta (12.5 pp with 8 samples) make
+	// the optimizer's per-target ratios noisy, so only structural sanity is
+	// asserted here; the WG<ST ordering is asserted with a proper budget in
+	// the tmr package tests and holds in quick/full runs.
+	for i := range f.Series[0].X {
+		st, wo, w := f.Series[0].Y[i], f.Series[1].Y[i], f.Series[2].Y[i]
+		if st != 0 && st != 1 {
+			t.Errorf("target %v: ST column must be 0 or 1, got %v", f.Series[0].X[i], st)
+		}
+		if wo < 0 || w < 0 {
+			t.Errorf("target %v: negative overhead ratios %v %v", f.Series[0].X[i], wo, w)
+		}
+		if st == 0 && (wo != 0 || w != 0) {
+			t.Errorf("target %v: zero ST overhead but nonzero ratios", f.Series[0].X[i])
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	figs := Fig6(Smoke())
+	f := figs[0]
+	if len(f.Series) != 3 {
+		t.Fatalf("series count %d", len(f.Series))
+	}
+	ber, st, wg := f.Series[0], f.Series[1], f.Series[2]
+	for i := 1; i < len(ber.X); i++ {
+		if ber.Y[i] > ber.Y[i-1] {
+			t.Error("BER must not increase with voltage")
+		}
+	}
+	// Smoke scale has +-12.5 pp Monte-Carlo quanta; only gross inversions
+	// are errors (the WG>=ST claim is asserted tightly in faultsim's tests).
+	for i := range st.Y {
+		if wg.Y[i] < st.Y[i]-26 {
+			t.Errorf("WG accuracy far below ST at %vV", st.X[i])
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	figs := Fig7(Smoke())
+	f := figs[0]
+	if len(f.Series) != 5 {
+		t.Fatalf("series count %d", len(f.Series))
+	}
+	for i := range f.Series[0].X {
+		st, wo, w := f.Series[0].Y[i], f.Series[1].Y[i], f.Series[2].Y[i]
+		if !(st <= 1+1e-9) {
+			t.Errorf("scaled ST energy %v above baseline", st)
+		}
+		if wo > st {
+			t.Errorf("WG-w/o energy %v above ST %v (winograd runs fewer cycles)", wo, st)
+		}
+		if w > wo+1e-9 {
+			t.Errorf("WG-w/ energy %v above WG-w/o %v", w, wo)
+		}
+	}
+	// Energy must not decrease when the loss budget tightens.
+	for i := 1; i < len(f.Series[2].Y); i++ {
+		if f.Series[2].Y[i] > f.Series[2].Y[i-1]+1e-9 {
+			t.Error("energy should not increase with a looser loss budget")
+		}
+	}
+}
+
+func TestHeadlineRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("headline", Smoke(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"61.21%", "27.49%", "42.89%", "7.19%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline output missing paper anchor %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sem := AblationSemantics(Smoke())[0]
+	if len(sem.Series) != 3 {
+		t.Fatalf("semantics series %d", len(sem.Series))
+	}
+	tile := AblationTile(Smoke())[0]
+	if len(tile.Series) != 2 {
+		t.Fatalf("tile series %d", len(tile.Series))
+	}
+	if len(tile.Notes) == 0 || !strings.Contains(tile.Notes[0], "direct") {
+		t.Error("tile ablation missing census note")
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t", XLabel: "ber",
+		Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: t ==", "ber", "a", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"repro/internal/fixed"
+	"repro/internal/nn"
+)
+
+// fig2BERs is the paper's Fig. 2 bit-error-rate axis (0 is implicit: the
+// golden accuracy is 100% by construction).
+var fig2BERs = []float64{1e-11, 1e-10, 1e-9, 1e-8, 1e-7}
+
+// fig2Models lists the four benchmark networks in the paper's panel order.
+var fig2Models = []string{"densenet169", "resnet50", "vgg19", "googlenet"}
+
+// Fig2 reproduces Figure 2: accuracy of the benchmark networks under
+// standard and winograd convolution at int8/int16 across the BER sweep, with
+// the winograd-over-standard improvement as an extra series per format.
+func Fig2(cfg Config) []*Figure {
+	var out []*Figure
+	for _, model := range fig2Models {
+		fig := &Figure{
+			ID:     "fig2-" + model,
+			Title:  "Accuracy vs BER, ST vs WG (" + model + ")",
+			XLabel: "BER",
+			YLabel: "accuracy %",
+		}
+		for _, f := range []fixed.Format{int8Fmt, int16Fmt} {
+			tag := "int8"
+			if f == int16Fmt {
+				tag = "int16"
+			}
+			st := makeRig(cfg, model, nn.Direct, f)
+			wg := makeRig(cfg, model, nn.Winograd, f)
+			sST := st.accuracySeries(cfg, "ST-"+tag, fig2BERs, st.opts(cfg))
+			sWG := wg.accuracySeries(cfg, "WG-"+tag, fig2BERs, wg.opts(cfg))
+			diff := Series{Name: "WG-ST-" + tag, X: fig2BERs}
+			for i := range sST.Y {
+				diff.Y = append(diff.Y, sWG.Y[i]-sST.Y[i])
+			}
+			fig.Series = append(fig.Series, sST, sWG, diff)
+		}
+		// Summary stats for quick shape checks.
+		var maxImp16, maxImp8 float64
+		for i := range fig2BERs {
+			if d := fig.Series[5].Y[i]; d > maxImp16 {
+				maxImp16 = d
+			}
+			if d := fig.Series[2].Y[i]; d > maxImp8 {
+				maxImp8 = d
+			}
+		}
+		fig.Notes = append(fig.Notes,
+			note("max WG improvement: int8 %.1f pp, int16 %.1f pp (paper: up to ~35 pp)", maxImp8, maxImp16))
+		out = append(out, fig)
+	}
+	return out
+}

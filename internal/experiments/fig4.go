@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/fixed"
+	"repro/internal/nn"
+)
+
+// fig4Configs are the paper's Fig. 4 (network, width, BER) panels.
+var fig4Configs = []struct {
+	Model string
+	Fmt   fixed.Format
+	BER   float64
+}{
+	{"densenet169", fixed.Int16, 1e-11},
+	{"densenet169", fixed.Int8, 2e-10},
+	{"vgg19", fixed.Int16, 2e-10},
+	{"vgg19", fixed.Int8, 3e-10},
+	{"resnet50", fixed.Int16, 5e-10},
+	{"resnet50", fixed.Int8, 1e-9},
+	{"googlenet", fixed.Int16, 5e-10},
+	{"googlenet", fixed.Int8, 9e-8},
+}
+
+// Fig4 reproduces Figure 4: accuracy with fault-free additions vs fault-free
+// multiplications for each benchmark/width, under both engines. Higher
+// accuracy when a class is fault-free means that class is more vulnerable.
+func Fig4(cfg Config) []*Figure {
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  "Operation-type sensitivity: fault-free Add vs fault-free Mul",
+		XLabel: "config #",
+		YLabel: "accuracy %",
+	}
+	var xs []float64
+	series := map[string]*Series{}
+	for _, name := range []string{"ST-Add", "ST-Mul", "WG-Add", "WG-Mul"} {
+		series[name] = &Series{Name: name}
+	}
+	var labels []string
+	for i, c := range fig4Configs {
+		xs = append(xs, float64(i+1))
+		tag := "int8"
+		if c.Fmt == fixed.Int16 {
+			tag = "int16"
+		}
+		labels = append(labels, note("%d=%s@%s BER %.0e", i+1, c.Model, tag, c.BER))
+		for _, kind := range []nn.EngineKind{nn.Direct, nn.Winograd} {
+			r := makeRig(cfg, c.Model, kind, c.Fmt)
+			prefix := "ST"
+			if kind == nn.Winograd {
+				prefix = "WG"
+			}
+			addFree := r.opts(cfg)
+			addFree.AddFaultFree = true
+			mulFree := r.opts(cfg)
+			mulFree.MulFaultFree = true
+			series[prefix+"-Add"].Y = append(series[prefix+"-Add"].Y,
+				r.runner.Accuracy(c.BER, addFree, cfg.Rounds)*100)
+			series[prefix+"-Mul"].Y = append(series[prefix+"-Mul"].Y,
+				r.runner.Accuracy(c.BER, mulFree, cfg.Rounds)*100)
+		}
+	}
+	for _, name := range []string{"ST-Add", "ST-Mul", "WG-Add", "WG-Mul"} {
+		s := series[name]
+		s.X = xs
+		fig.Series = append(fig.Series, *s)
+	}
+	fig.Notes = append(fig.Notes, labels...)
+	fig.Notes = append(fig.Notes,
+		"columns show accuracy when that op class is fault-free; Mul >> Add means"+
+			" multiplications are the vulnerable class (paper's finding for both engines)")
+	return []*Figure{fig}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/nn"
+	"repro/internal/tmr"
+)
+
+// fig5StartBER is the paper's TMR study error rate, used as the starting
+// point of the stress calibration: the paper's 3e-10 put their VGG19 at
+// ~45-50% accuracy; our golden-agreement metric is more forgiving, so the
+// harness searches for the BER with the equivalent degradation and reports
+// it (same protection-vs-accuracy trade-off, honestly recalibrated x-axis).
+const fig5StartBER = 3e-10
+
+// stressBER finds a BER where unprotected accuracy lands in [0.45, 0.65] of
+// golden, matching the operating point of the paper's Fig. 5.
+func stressBER(r *rig, opts faultsim.Options, rounds int) float64 {
+	ber := fig5StartBER
+	for i := 0; i < 14; i++ {
+		acc := r.runner.Accuracy(ber, opts, rounds)
+		switch {
+		case acc > 0.65:
+			ber *= 3
+		case acc < 0.45:
+			ber /= 2.5
+		default:
+			return ber
+		}
+	}
+	return ber
+}
+
+// fig5Targets are the paper's accuracy goals (45%..70%) expressed as
+// fractions of the original 72.6% VGG19 accuracy; our golden-agreement
+// baseline is 100%, so the goals map to the same fractions of golden.
+var fig5Targets = []float64{45, 50, 55, 60, 65, 70}
+
+const fig5Original = 72.6
+
+// fig5Row is one accuracy-target datapoint of the TMR study.
+type fig5Row struct {
+	TargetPaper float64 // paper axis value (45..70)
+	Target      float64 // golden-agreement target fraction
+	STOverhead  int64
+	WOOverhead  int64 // winograd without awareness of its fault tolerance
+	WOAccuracy  float64
+	WOverhead   int64 // winograd with awareness
+}
+
+// fig5Cache memoizes fig5Data per config within one process, so the
+// headline experiment reuses the (expensive) TMR study instead of redoing it.
+var fig5Cache = map[Config]fig5Result{}
+
+type fig5Result struct {
+	rows []fig5Row
+	ber  float64
+}
+
+// fig5Data runs the three TMR configurations of Figure 5, returning the
+// rows and the calibrated stress BER. Results are memoized per config.
+func fig5Data(cfg Config) ([]fig5Row, float64) {
+	if r, ok := fig5Cache[cfg]; ok {
+		return r.rows, r.ber
+	}
+	rows, ber := fig5DataUncached(cfg)
+	fig5Cache[cfg] = fig5Result{rows: rows, ber: ber}
+	return rows, ber
+}
+
+func fig5DataUncached(cfg Config) ([]fig5Row, float64) {
+	st := makeRig(cfg, "vgg19", nn.Direct, int16Fmt)
+	wg := makeRig(cfg, "vgg19", nn.Winograd, int16Fmt)
+	stOpts, wgOpts := st.opts(cfg), wg.opts(cfg)
+	fig5BER := stressBER(st, stOpts, cfg.Rounds)
+
+	stVF := tmr.Vulnerability(st.runner, fig5BER, stOpts, cfg.Rounds)
+	wgVF := tmr.Vulnerability(wg.runner, fig5BER, wgOpts, cfg.Rounds)
+	stConv := st.runner.Net.ConvNodes()
+	wgConv := wg.runner.Net.ConvNodes()
+
+	var rows []fig5Row
+	var stPrev, wPrev map[int]fault.Protection
+	for _, tp := range fig5Targets {
+		target := tp / fig5Original
+		stPlan := (&tmr.Optimizer{Runner: st.runner, Opts: stOpts, BER: fig5BER,
+			Rounds: cfg.Rounds, VF: stVF, Step: 0.25, Initial: stPrev}).Optimize(target, 600)
+		stPrev = stPlan.Protection
+
+		// WG-Conv-W/O-AFT: replay the ST protection decision on the winograd
+		// execution — same per-layer fractions, applied to far fewer
+		// multiplications, with no awareness of winograd's own tolerance.
+		woPlan, err := tmr.ApplyFractions(stPlan, stConv, wgConv)
+		if err != nil {
+			panic(err)
+		}
+		woOpts := wgOpts
+		woOpts.Protection = woPlan.Protection
+		woAcc := wg.runner.Accuracy(fig5BER, woOpts, cfg.Rounds)
+
+		// WG-Conv-W/AFT: optimize directly against the winograd network.
+		// The aware designer's strategy set also contains the replayed
+		// (unaware) plan, so when that plan already meets the goal more
+		// cheaply than the search result, awareness takes it — awareness is
+		// strictly additional information and never costs more.
+		wPlan := (&tmr.Optimizer{Runner: wg.runner, Opts: wgOpts, BER: fig5BER,
+			Rounds: cfg.Rounds, VF: wgVF, Step: 0.25, Initial: wPrev}).Optimize(target, 600)
+		wPrev = wPlan.Protection
+		wOverhead := wPlan.Overhead(wg.intensity)
+		if woOH := woPlan.Overhead(wg.intensity); woAcc >= target && woOH < wOverhead {
+			wOverhead = woOH
+		}
+
+		rows = append(rows, fig5Row{
+			TargetPaper: tp,
+			Target:      target,
+			STOverhead:  stPlan.Overhead(st.intensity),
+			WOOverhead:  woPlan.Overhead(wg.intensity),
+			WOAccuracy:  woAcc,
+			WOverhead:   wOverhead,
+		})
+	}
+	return rows, fig5BER
+}
+
+// Fig5 reproduces Figure 5: normalized TMR overhead needed to reach each
+// accuracy goal for ST-Conv, WG-Conv-W/O-AFT and WG-Conv-W/AFT at BER 3e-10.
+func Fig5(cfg Config) []*Figure {
+	rows, ber := fig5Data(cfg)
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Normalized fine-grained TMR overhead vs accuracy goal (VGG19 int16)",
+		XLabel: "accuracy goal %",
+		YLabel: "overhead / ST-Conv",
+	}
+	stS := Series{Name: "ST-Conv"}
+	woS := Series{Name: "WG-w/o-AFT"}
+	wS := Series{Name: "WG-w/-AFT"}
+	var sumWO, sumW float64
+	var n int
+	for _, r := range rows {
+		stS.X = append(stS.X, r.TargetPaper)
+		woS.X = append(woS.X, r.TargetPaper)
+		wS.X = append(wS.X, r.TargetPaper)
+		if r.STOverhead == 0 {
+			stS.Y = append(stS.Y, 0)
+			woS.Y = append(woS.Y, 0)
+			wS.Y = append(wS.Y, 0)
+			continue
+		}
+		stS.Y = append(stS.Y, 1)
+		rwo := float64(r.WOOverhead) / float64(r.STOverhead)
+		rw := float64(r.WOverhead) / float64(r.STOverhead)
+		woS.Y = append(woS.Y, rwo)
+		wS.Y = append(wS.Y, rw)
+		sumWO += rwo
+		sumW += rw
+		n++
+	}
+	fig.Series = []Series{stS, woS, wS}
+	fig.Notes = append(fig.Notes,
+		note("stress BER calibrated to %.2e (paper operated at 3e-10; see DESIGN.md)", ber))
+	if n > 0 {
+		meanWO, meanW := sumWO/float64(n), sumW/float64(n)
+		fig.Notes = append(fig.Notes,
+			note("mean overhead vs ST: WG-w/o-AFT %.1f%%, WG-w/-AFT %.1f%%", meanWO*100, meanW*100),
+			note("WG-w/-AFT saves %.1f%% vs ST (paper 61.21%%) and %.1f%% vs WG-w/o-AFT (paper 27.49%%)",
+				(1-meanW)*100, (1-meanW/meanWO)*100))
+	}
+	return []*Figure{fig}
+}

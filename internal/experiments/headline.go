@@ -1,0 +1,43 @@
+package experiments
+
+// Headline reproduces the paper's summary numbers (abstract / Section 5):
+// the TMR overhead reductions (61.21% vs standard convolution, 27.49% vs
+// winograd without fault-tolerance awareness) and the energy reductions
+// (42.89% and 7.19% respectively), derived from the Fig. 5 and Fig. 7
+// experiments.
+func Headline(cfg Config) []*Figure {
+	fig := &Figure{
+		ID:    "headline",
+		Title: "Summary: fault-tolerance-aware winograd savings (paper abstract numbers)",
+	}
+
+	tmrRows, _ := fig5Data(cfg)
+	var sumWO, sumW float64
+	var n int
+	for _, r := range tmrRows {
+		if r.STOverhead == 0 {
+			continue
+		}
+		sumWO += float64(r.WOOverhead) / float64(r.STOverhead)
+		sumW += float64(r.WOverhead) / float64(r.STOverhead)
+		n++
+	}
+	if n > 0 {
+		meanWO, meanW := sumWO/float64(n), sumW/float64(n)
+		fig.Notes = append(fig.Notes,
+			note("TMR overhead reduction, WG-w/-AFT vs ST-Conv:    measured %.2f%%  (paper 61.21%%)", (1-meanW)*100),
+			note("TMR overhead reduction, WG-w/-AFT vs WG-w/o-AFT: measured %.2f%%  (paper 27.49%%)", (1-meanW/meanWO)*100))
+	}
+
+	energyRows, _, _ := fig7Data(cfg)
+	var gST, gWO float64
+	for _, r := range energyRows {
+		gST += 1 - r.EW/r.EST
+		gWO += 1 - r.EW/r.EWO
+	}
+	m := float64(len(energyRows))
+	fig.Notes = append(fig.Notes,
+		note("energy reduction, WG-w/-AFT vs ST-Conv scaled:   measured %.2f%%  (paper 42.89%%)", gST/m*100),
+		note("energy reduction, WG-w/-AFT vs WG-w/o-AFT:       measured %.2f%%  (paper 7.19%%)", gWO/m*100))
+	return []*Figure{fig}
+}

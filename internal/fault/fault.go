@@ -1,0 +1,244 @@
+// Package fault defines the soft-error models of the reproduction: the
+// bit-error-rate metric, the three injection semantics (operand-level,
+// result-level, neuron-level), and the statistical sampler that converts a
+// per-bit Bernoulli process over billions of executed operations into a small
+// set of exactly-placed fault events.
+//
+// The paper's operation-level platform injects "random soft errors ... to the
+// results of primitive operations i.e. multiplication and addition", with the
+// motivating observation that operand corruption of a multiplication is far
+// more damaging than of an addition. Both views are implemented here and can
+// be compared with the semantics ablation experiment.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+)
+
+// OpClass identifies the primitive operation class a fault lands in.
+type OpClass uint8
+
+const (
+	// OpMul is a multiplication (MAC multiplier, Hadamard product, ...).
+	OpMul OpClass = iota
+	// OpAdd is an addition (accumulation, transform add, bias add, ...).
+	OpAdd
+	numOpClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case OpMul:
+		return "mul"
+	case OpAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("OpClass(%d)", uint8(c))
+	}
+}
+
+// Semantics selects how a fault event corrupts an operation.
+type Semantics uint8
+
+const (
+	// ResultFlip flips one bit of the operation's result register: the full
+	// 2W-bit product register for multiplications, the W-bit result register
+	// for additions. This is the platform default — it is the paper's
+	// stated methodology ("random soft errors injected to the results of
+	// primitive operations").
+	ResultFlip Semantics = iota
+	// OperandFlip flips one bit of one W-bit input operand of the chosen
+	// operation. For a multiplication the induced output error scales with
+	// the other operand; for an addition it is a single power of two —
+	// the paper's motivating observation, kept as an ablation semantics.
+	OperandFlip
+	// NeuronFlip is the coarse neuron-level semantics of TensorFI/PyTorchFI:
+	// bits are flipped in layer output activations. It cannot distinguish
+	// standard from winograd convolution (paper Fig. 1).
+	NeuronFlip
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case OperandFlip:
+		return "operand"
+	case ResultFlip:
+		return "result"
+	case NeuronFlip:
+		return "neuron"
+	default:
+		return fmt.Sprintf("Semantics(%d)", uint8(s))
+	}
+}
+
+// Model is a complete soft-error configuration.
+type Model struct {
+	// BER is the probability that any single bit of an operation's fault
+	// surface flips during that operation's execution, per the paper's
+	// "probability of a bit flip in an operation" metric.
+	BER float64
+	// Semantics selects operand-, result- or neuron-level injection.
+	Semantics Semantics
+}
+
+// Census counts the primitive operations of one engine invocation (one
+// layer forward pass), per class.
+type Census struct {
+	Mul int64
+	Add int64
+}
+
+// Total returns Mul + Add.
+func (c Census) Total() int64 { return c.Mul + c.Add }
+
+// Class returns the count for one op class.
+func (c Census) Class(cl OpClass) int64 {
+	if cl == OpMul {
+		return c.Mul
+	}
+	return c.Add
+}
+
+// AddCensus returns the element-wise sum of two censuses.
+func (c Census) AddCensus(o Census) Census {
+	return Census{Mul: c.Mul + o.Mul, Add: c.Add + o.Add}
+}
+
+// Scale returns the census multiplied by k (used to translate a scaled-down
+// model's census to the full-size network's fault intensity).
+func (c Census) Scale(k float64) Census {
+	return Census{Mul: int64(float64(c.Mul) * k), Add: int64(float64(c.Add) * k)}
+}
+
+// SurfaceBits returns the size in bits of the fault surface of one operation
+// of the given class under the given semantics and data format. The surface
+// is what the per-bit BER multiplies into a per-op fault rate.
+//
+// Register model: every operand and every addition result lives in a W-bit
+// datapath register, so a flipped addition bit perturbs the value by at most
+// 2^(W-1) accumulator LSBs — small against the 2^2F accumulator scale. A
+// multiplication amplifies a flipped operand bit by the other operand, and
+// its result occupies the full 2W-bit product register, so multiplication
+// faults are far more damaging per event. This register model is what makes
+// the engines reproduce the paper's Fig. 4 asymmetry (multiplications much
+// more vulnerable than additions) from first principles.
+func SurfaceBits(sem Semantics, cl OpClass, f fixed.Format) int {
+	switch sem {
+	case OperandFlip:
+		return 2 * f.Width // two W-bit operand registers, either class
+	case ResultFlip:
+		if cl == OpMul {
+			return f.ProductBits() // full 2W-bit product register
+		}
+		return f.Width // addition result returns to a W-bit register
+	case NeuronFlip:
+		return f.Width
+	default:
+		panic("fault: unknown semantics")
+	}
+}
+
+// Event is one sampled fault: a specific bit of a specific operand/result of
+// a specific operation (identified by its flat index in the engine's
+// deterministic op ordering for the layer invocation).
+type Event struct {
+	Class   OpClass
+	Op      int64 // flat op index within the class ordering of the layer
+	Bit     uint8 // bit position within the chosen register
+	Operand uint8 // 0 or 1; which operand (OperandFlip only)
+}
+
+// Protection describes the fraction of operations of each class in a layer
+// that are TMR-protected (majority-voted, hence immune to single faults).
+// The paper's fine-grained TMR selects the protected subset uniformly at
+// random with multiplications prioritised, which is statistically equivalent
+// to thinning the fault process by the protected fraction.
+type Protection struct {
+	MulFrac float64 // fraction of multiplications protected, in [0,1]
+	AddFrac float64 // fraction of additions protected, in [0,1]
+}
+
+// Frac returns the protected fraction for an op class, clamped to [0,1].
+func (p Protection) Frac(cl OpClass) float64 {
+	f := p.AddFrac
+	if cl == OpMul {
+		f = p.MulFrac
+	}
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Lambda returns the expected number of unprotected fault events for one op
+// class of a layer whose fault intensity is governed by intensityCensus
+// (normally the layer's own census; experiments may substitute the full-size
+// network's census to keep the paper's BER axis).
+func Lambda(cl OpClass, intensity Census, m Model, f fixed.Format, p Protection) float64 {
+	n := float64(intensity.Class(cl))
+	return n * float64(SurfaceBits(m.Semantics, cl, f)) * m.BER * (1 - p.Frac(cl))
+}
+
+// Sample draws the fault events for one layer invocation.
+//
+// siteCensus is the census of the engine that will apply the events (op
+// indices are drawn within it); intensityCensus governs the expected event
+// count and may be a scaled-up census (see Lambda). Passing the same census
+// for both reproduces plain per-bit Bernoulli injection exactly: the number
+// of flipped bits among N·surface independent Bernoulli(BER) trials is
+// Binomial(N·surface, BER), which the sampler draws before placing each
+// event uniformly, the standard decomposition of an i.i.d. thinned process.
+func Sample(r *rng.Stream, siteCensus, intensityCensus Census, m Model, f fixed.Format, p Protection) []Event {
+	if m.BER <= 0 {
+		return nil
+	}
+	var events []Event
+	for _, cl := range []OpClass{OpMul, OpAdd} {
+		sites := siteCensus.Class(cl)
+		if sites <= 0 {
+			continue
+		}
+		surface := SurfaceBits(m.Semantics, cl, f)
+		trials := intensityCensus.Class(cl) * int64(surface)
+		keep := 1 - p.Frac(cl)
+		if keep <= 0 {
+			continue
+		}
+		k := r.Binomial(trials, m.BER*keep)
+		for i := int64(0); i < k; i++ {
+			ev := Event{
+				Class: cl,
+				Op:    r.Int63n(sites),
+				Bit:   uint8(r.Intn(surface)),
+			}
+			if m.Semantics == OperandFlip {
+				// The surface spans both operand registers; split it.
+				half := surface / 2
+				if int(ev.Bit) >= half {
+					ev.Operand = 1
+					ev.Bit -= uint8(half)
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// FlipInReg flips bit b of the regBits-wide two's-complement register
+// currently holding v, returning the new value sign-extended to int64. Bits
+// at or above regBits clamp to the register's sign bit.
+func FlipInReg(v int64, b uint, regBits int) int64 {
+	if int(b) >= regBits {
+		b = uint(regBits - 1)
+	}
+	u := uint64(v) ^ (uint64(1) << b)
+	shift := uint(64 - regBits)
+	return int64(u<<shift) >> shift
+}

@@ -1,0 +1,266 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestCensusArithmetic(t *testing.T) {
+	a := Census{Mul: 10, Add: 20}
+	b := Census{Mul: 1, Add: 2}
+	if got := a.Total(); got != 30 {
+		t.Errorf("Total = %d", got)
+	}
+	if got := a.AddCensus(b); got != (Census{11, 22}) {
+		t.Errorf("AddCensus = %v", got)
+	}
+	if got := a.Scale(2.5); got != (Census{25, 50}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if a.Class(OpMul) != 10 || a.Class(OpAdd) != 20 {
+		t.Error("Class lookup wrong")
+	}
+}
+
+func TestSurfaceBits(t *testing.T) {
+	cases := []struct {
+		sem  Semantics
+		cl   OpClass
+		f    fixed.Format
+		want int
+	}{
+		{OperandFlip, OpMul, fixed.Int16, 32},
+		{OperandFlip, OpMul, fixed.Int8, 16},
+		{OperandFlip, OpAdd, fixed.Int16, 32},
+		{OperandFlip, OpAdd, fixed.Int8, 16},
+		{ResultFlip, OpMul, fixed.Int16, 32},
+		{ResultFlip, OpMul, fixed.Int8, 16},
+		{ResultFlip, OpAdd, fixed.Int8, 8},
+		{ResultFlip, OpAdd, fixed.Int16, 16},
+		{NeuronFlip, OpMul, fixed.Int16, 16},
+		{NeuronFlip, OpAdd, fixed.Int8, 8},
+	}
+	for _, c := range cases {
+		if got := SurfaceBits(c.sem, c.cl, c.f); got != c.want {
+			t.Errorf("SurfaceBits(%v,%v,%v) = %d, want %d", c.sem, c.cl, c.f, got, c.want)
+		}
+	}
+}
+
+func TestProtectionFracClamps(t *testing.T) {
+	p := Protection{MulFrac: 1.5, AddFrac: -0.5}
+	if p.Frac(OpMul) != 1 || p.Frac(OpAdd) != 0 {
+		t.Errorf("clamping wrong: %v %v", p.Frac(OpMul), p.Frac(OpAdd))
+	}
+}
+
+func TestLambda(t *testing.T) {
+	c := Census{Mul: 1000, Add: 2000}
+	m := Model{BER: 1e-3, Semantics: ResultFlip}
+	// mul: 1000 ops * 32 bits * 1e-3 = 32
+	if got := Lambda(OpMul, c, m, fixed.Int16, Protection{}); math.Abs(got-32) > 1e-9 {
+		t.Errorf("Lambda(mul) = %v, want 32", got)
+	}
+	// add: 2000 ops * 16-bit result register * 1e-3 = 32; half protected -> 16
+	if got := Lambda(OpAdd, c, m, fixed.Int16, Protection{AddFrac: 0.5}); math.Abs(got-16) > 1e-9 {
+		t.Errorf("Lambda(add, 50%% prot) = %v, want 16", got)
+	}
+	// full protection kills the rate.
+	if got := Lambda(OpMul, c, m, fixed.Int16, Protection{MulFrac: 1}); got != 0 {
+		t.Errorf("Lambda with full protection = %v", got)
+	}
+}
+
+func TestSampleCountsMatchBinomialMean(t *testing.T) {
+	r := rng.New(99)
+	c := Census{Mul: 100000, Add: 100000}
+	m := Model{BER: 1e-5, Semantics: ResultFlip}
+	const rounds = 400
+	var total float64
+	for i := 0; i < rounds; i++ {
+		evs := Sample(r.Split(uint64(i)), c, c, m, fixed.Int16, Protection{})
+		total += float64(len(evs))
+	}
+	mean := total / rounds
+	// Expected: mul 1e5*32*1e-5=32, add 1e5*16*1e-5=16 -> 48.
+	if math.Abs(mean-48) > 3 {
+		t.Errorf("mean event count = %v, want ~48", mean)
+	}
+}
+
+func TestSampleZeroBER(t *testing.T) {
+	r := rng.New(1)
+	if evs := Sample(r, Census{1000, 1000}, Census{1000, 1000}, Model{BER: 0}, fixed.Int16, Protection{}); evs != nil {
+		t.Errorf("zero BER produced %d events", len(evs))
+	}
+}
+
+func TestSampleEventFieldsInRange(t *testing.T) {
+	r := rng.New(2)
+	c := Census{Mul: 50, Add: 70}
+	m := Model{BER: 0.01, Semantics: OperandFlip}
+	for trial := 0; trial < 50; trial++ {
+		for _, ev := range Sample(r.Split(uint64(trial)), c, c, m, fixed.Int16, Protection{}) {
+			if ev.Op < 0 || ev.Op >= c.Class(ev.Class) {
+				t.Fatalf("op index %d out of range for %v", ev.Op, ev.Class)
+			}
+			if ev.Operand > 1 {
+				t.Fatalf("operand = %d", ev.Operand)
+			}
+			half := SurfaceBits(m.Semantics, ev.Class, fixed.Int16) / 2
+			if int(ev.Bit) >= half {
+				t.Fatalf("bit %d out of per-operand range %d", ev.Bit, half)
+			}
+		}
+	}
+}
+
+func TestSampleResultFlipBitRange(t *testing.T) {
+	r := rng.New(3)
+	c := Census{Mul: 100, Add: 100}
+	m := Model{BER: 0.01, Semantics: ResultFlip}
+	for trial := 0; trial < 50; trial++ {
+		for _, ev := range Sample(r.Split(uint64(trial)), c, c, m, fixed.Int8, Protection{}) {
+			limit := SurfaceBits(m.Semantics, ev.Class, fixed.Int8)
+			if int(ev.Bit) >= limit {
+				t.Fatalf("bit %d out of range %d for %v", ev.Bit, limit, ev.Class)
+			}
+			if ev.Operand != 0 {
+				t.Fatalf("ResultFlip must not set operand")
+			}
+		}
+	}
+}
+
+func TestSampleProtectionThins(t *testing.T) {
+	c := Census{Mul: 200000, Add: 0}
+	m := Model{BER: 1e-5, Semantics: ResultFlip}
+	count := func(p Protection, seed uint64) float64 {
+		r := rng.New(seed)
+		var total float64
+		for i := 0; i < 300; i++ {
+			total += float64(len(Sample(r.Split(uint64(i)), c, c, m, fixed.Int16, p)))
+		}
+		return total / 300
+	}
+	unprot := count(Protection{}, 4)
+	half := count(Protection{MulFrac: 0.5}, 5)
+	full := count(Protection{MulFrac: 1}, 6)
+	if full != 0 {
+		t.Errorf("fully protected layer still faults: %v", full)
+	}
+	if math.Abs(half/unprot-0.5) > 0.1 {
+		t.Errorf("half protection ratio = %v, want ~0.5", half/unprot)
+	}
+}
+
+func TestSampleIntensityScaling(t *testing.T) {
+	// A 10x intensity census must produce ~10x the events while op indices
+	// stay within the (smaller) site census.
+	site := Census{Mul: 1000, Add: 0}
+	intensity := site.Scale(10)
+	m := Model{BER: 1e-4, Semantics: ResultFlip}
+	r := rng.New(7)
+	var total float64
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		evs := Sample(r.Split(uint64(i)), site, intensity, m, fixed.Int16, Protection{})
+		total += float64(len(evs))
+		for _, ev := range evs {
+			if ev.Op >= site.Mul {
+				t.Fatalf("op index %d outside site census %d", ev.Op, site.Mul)
+			}
+		}
+	}
+	mean := total / rounds
+	want := float64(intensity.Mul) * 32 * 1e-4
+	if math.Abs(mean-want) > want*0.15 {
+		t.Errorf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestFlipInReg(t *testing.T) {
+	// Flip inside a 16-bit register.
+	if got := FlipInReg(0, 15, 16); got != -32768 {
+		t.Errorf("FlipInReg(0,15,16) = %d, want -32768", got)
+	}
+	if got := FlipInReg(-1, 0, 16); got != -2 {
+		t.Errorf("FlipInReg(-1,0,16) = %d", got)
+	}
+	// Out-of-range bit clamps to the sign bit.
+	if got := FlipInReg(0, 63, 16); got != -32768 {
+		t.Errorf("FlipInReg clamp = %d", got)
+	}
+	// Involution.
+	err := quick.Check(func(v int32, b uint8) bool {
+		bit := uint(b % 32)
+		x := int64(v)
+		return FlipInReg(FlipInReg(x, bit, 32), bit, 32) == x
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInjectNeuronsRate(t *testing.T) {
+	f := fixed.Int16
+	q := tensor.NewQ(tensor.Shape{N: 1, C: 8, H: 32, W: 32}, f)
+	r := rng.New(11)
+	const ber = 1e-4
+	var flips float64
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		flips += float64(InjectNeurons(q, ber, r.Split(uint64(i))))
+	}
+	mean := flips / rounds
+	want := float64(len(q.Data)) * 16 * ber
+	if math.Abs(mean-want) > want*0.3 {
+		t.Errorf("mean flips = %v, want ~%v", mean, want)
+	}
+}
+
+func TestInjectNeuronsChangesValues(t *testing.T) {
+	f := fixed.Int16
+	q := tensor.NewQ(tensor.Shape{N: 1, C: 1, H: 16, W: 16}, f)
+	r := rng.New(13)
+	n := InjectNeurons(q, 0.01, r)
+	if n == 0 {
+		t.Skip("no faults sampled (expected rare)")
+	}
+	changed := 0
+	for _, v := range q.Data {
+		if v != 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("faults reported but no value changed")
+	}
+	if changed > n {
+		t.Errorf("%d values changed with only %d flips", changed, n)
+	}
+}
+
+func TestInjectNeuronsZeroBER(t *testing.T) {
+	q := tensor.NewQ(tensor.Shape{N: 1, C: 1, H: 4, W: 4}, fixed.Int8)
+	if n := InjectNeurons(q, 0, rng.New(1)); n != 0 {
+		t.Errorf("zero BER flipped %d bits", n)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpMul.String() != "mul" || OpAdd.String() != "add" {
+		t.Error("OpClass strings wrong")
+	}
+	if OperandFlip.String() != "operand" || ResultFlip.String() != "result" || NeuronFlip.String() != "neuron" {
+		t.Error("Semantics strings wrong")
+	}
+	if OpClass(9).String() == "" || Semantics(9).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}

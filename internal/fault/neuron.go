@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// InjectNeurons applies neuron-level fault injection to a quantized
+// activation tensor in place: every bit of every stored value flips
+// independently with probability ber, sampled statistically (binomial count,
+// uniform placement) exactly as the op-level sampler does.
+//
+// This is the TensorFI/PyTorchFI-style semantics the paper compares against
+// in Figure 1: because it corrupts the *values* of neurons after a layer has
+// produced them, it is oblivious to whether the layer computed them with
+// standard or winograd convolution.
+func InjectNeurons(q *tensor.QTensor, ber float64, r *rng.Stream) int {
+	return InjectNeuronsIntensity(q, ber, int64(len(q.Data)), r)
+}
+
+// InjectNeuronsIntensity is InjectNeurons with the expected flip count
+// derived from intensityElems value registers instead of the tensor's own
+// size — the neuron-level analogue of the scaled-intensity op sampler, used
+// to keep the paper's BER axis on scaled-down models.
+func InjectNeuronsIntensity(q *tensor.QTensor, ber float64, intensityElems int64, r *rng.Stream) int {
+	if ber <= 0 {
+		return 0
+	}
+	elems := int64(len(q.Data))
+	bits := int64(q.Fmt.Width)
+	k := r.Binomial(intensityElems*bits, ber)
+	for i := int64(0); i < k; i++ {
+		idx := r.Int63n(elems)
+		bit := uint(r.Intn(q.Fmt.Width))
+		q.Data[idx] = q.Fmt.FlipBit32(q.Data[idx], bit)
+	}
+	return int(k)
+}

@@ -1,0 +1,185 @@
+// Package faultsim is the operation-level fault-injection platform of the
+// reproduction (paper Section 3.1): it runs quantized networks under a
+// soft-error model, measures golden-agreement accuracy across bit-error-rate
+// sweeps, and supports the layer fault-free masks, operation-type masks and
+// per-layer TMR protection configurations used by the paper's analyses.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/conv"
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Options configures one injection campaign (everything except the BER).
+type Options struct {
+	// Semantics selects operand/result/neuron-level injection.
+	Semantics fault.Semantics
+	// Seed drives all fault randomness; every (seed, round, node) tuple is an
+	// independent deterministic stream.
+	Seed uint64
+	// Intensity optionally overrides each node's own op census for the
+	// expected-fault computation with full-size network counts (see
+	// DESIGN.md substitutions). Length must match the node count when set.
+	Intensity []fault.Census
+	// NeuronIntensity is the analogous per-node activation element count for
+	// neuron-level injection.
+	NeuronIntensity []int64
+	// FaultFree exempts the given node indices from injection (layer-wise
+	// sensitivity analysis, Fig. 3).
+	FaultFree map[int]bool
+	// MulFaultFree / AddFaultFree exempt a whole operation class (Fig. 4).
+	MulFaultFree bool
+	AddFaultFree bool
+	// Protection is the per-node fine-grained TMR configuration (Fig. 5).
+	Protection map[int]fault.Protection
+}
+
+// Runner evaluates one network against one evaluation input set.
+type Runner struct {
+	Net    *nn.Network
+	Inputs *tensor.QTensor // the full evaluation batch
+	golden []int
+}
+
+// New computes the golden predictions and returns a ready runner.
+func New(net *nn.Network, inputs *tensor.QTensor) *Runner {
+	r := &Runner{Net: net, Inputs: inputs}
+	r.golden = nn.Argmax(net.Forward(inputs, nil))
+	return r
+}
+
+// Golden returns the fault-free predictions of the evaluation batch.
+func (r *Runner) Golden() []int { return r.golden }
+
+// injector adapts Options + BER to the nn.Injector interface for one
+// Monte-Carlo round.
+type injector struct {
+	opts    *Options
+	model   fault.Model
+	round   *rng.Stream
+	batch   int // evaluation batch size (Intensity describes one image)
+	fmt     fixed.Format
+	convSet map[int]struct{}
+}
+
+func (in *injector) OpEvents(li int, census fault.Census) []fault.Event {
+	if in.model.Semantics == fault.NeuronFlip {
+		return nil
+	}
+	if in.opts.FaultFree[li] {
+		return nil
+	}
+	intensity := census
+	if in.opts.Intensity != nil {
+		intensity = in.opts.Intensity[li].Scale(float64(in.batch))
+	}
+	prot := in.opts.Protection[li]
+	if in.opts.MulFaultFree {
+		prot.MulFrac = 1
+	}
+	if in.opts.AddFaultFree {
+		prot.AddFrac = 1
+	}
+	evs := fault.Sample(in.round.Split(uint64(li)), census, intensity, in.model, in.fmt, prot)
+	if in.model.Semantics == fault.ResultFlip {
+		conv.MarkResultFlip(evs)
+	}
+	return evs
+}
+
+func (in *injector) Neuron(li int, q *tensor.QTensor) {
+	if in.model.Semantics != fault.NeuronFlip {
+		return
+	}
+	if in.opts.FaultFree[li] {
+		return
+	}
+	// Neuron-level FI applies to compute-layer outputs (the "neurons").
+	if _, ok := in.convSet[li]; !ok {
+		return
+	}
+	intensity := int64(len(q.Data))
+	if in.opts.NeuronIntensity != nil {
+		intensity = in.opts.NeuronIntensity[li] * int64(in.batch)
+	}
+	fault.InjectNeuronsIntensity(q, in.model.BER, intensity, in.round.Split(uint64(li)^0x9e37))
+}
+
+// Accuracy measures golden-agreement accuracy at one bit error rate over the
+// given number of Monte-Carlo rounds (each round re-samples all faults over
+// the whole evaluation batch).
+func (r *Runner) Accuracy(ber float64, opts Options, rounds int) float64 {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if opts.Intensity != nil && len(opts.Intensity) != len(r.Net.Nodes) {
+		panic(fmt.Sprintf("faultsim: intensity length %d != %d nodes", len(opts.Intensity), len(r.Net.Nodes)))
+	}
+	if ber <= 0 {
+		return 1
+	}
+	root := rng.New(opts.Seed)
+	convSet := map[int]struct{}{}
+	for _, li := range r.Net.ConvNodes() {
+		convSet[li] = struct{}{}
+	}
+	agree, total := 0, 0
+	for round := 0; round < rounds; round++ {
+		inj := &injector{
+			opts:    &opts,
+			model:   fault.Model{BER: ber, Semantics: opts.Semantics},
+			round:   root.Split(uint64(round)),
+			batch:   r.Inputs.Shape.N,
+			fmt:     r.Inputs.Fmt,
+			convSet: convSet,
+		}
+		preds := nn.Argmax(r.Net.Forward(r.Inputs, inj))
+		for i, p := range preds {
+			if p == r.golden[i] {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+// Sweep evaluates accuracy across a BER range.
+func (r *Runner) Sweep(bers []float64, opts Options, rounds int) []Point {
+	out := make([]Point, len(bers))
+	for i, ber := range bers {
+		out[i] = Point{BER: ber, Accuracy: r.Accuracy(ber, opts, rounds)}
+	}
+	return out
+}
+
+// Point is one (BER, accuracy) sample of a sweep.
+type Point struct {
+	BER      float64
+	Accuracy float64
+}
+
+// LayerSensitivity computes, for every conv node, the accuracy when that
+// node alone is fault-free while the rest of the network is injected at the
+// given BER (paper Fig. 3), plus the all-faulty baseline. The difference
+// accuracy(li fault-free) - baseline is the layer's vulnerability factor
+// (paper Section 4.1).
+func (r *Runner) LayerSensitivity(ber float64, opts Options, rounds int) (base float64, perLayer map[int]float64) {
+	base = r.Accuracy(ber, opts, rounds)
+	perLayer = make(map[int]float64)
+	for _, li := range r.Net.ConvNodes() {
+		o := opts
+		o.FaultFree = map[int]bool{li: true}
+		for k, v := range opts.FaultFree {
+			o.FaultFree[k] = v
+		}
+		perLayer[li] = r.Accuracy(ber, o, rounds)
+	}
+	return base, perLayer
+}

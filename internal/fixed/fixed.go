@@ -1,0 +1,161 @@
+// Package fixed implements the Q-format fixed-point arithmetic used by the
+// quantized inference engines. The paper evaluates networks quantized to
+// 8-bit and 16-bit fixed point; all convolution arithmetic is carried out on
+// integer values with a wide (int64) multiply-accumulate path and a single
+// rounding + saturation step at the end, mirroring how hardware MAC units
+// (and the paper's fault-injection platform) treat intermediate values.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed Q-format fixed-point representation: Width total
+// bits (including sign) of the stored value, of which Frac bits sit to the
+// right of the binary point. A Format with Width 16 and Frac 8 stores values
+// in [-128, 128) with a resolution of 2^-8.
+type Format struct {
+	Width int // total bits including sign; 8 or 16 in the paper
+	Frac  int // fractional bits
+}
+
+// Int8 and Int16 are the two quantization configurations evaluated in the
+// paper (Section 3.2.1). The fractional split is chosen by calibration in
+// tensor.Calibrate; these are the defaults used when no calibration is run.
+var (
+	Int8  = Format{Width: 8, Frac: 4}
+	Int16 = Format{Width: 16, Frac: 8}
+)
+
+// Validate reports whether the format is usable.
+func (f Format) Validate() error {
+	if f.Width != 8 && f.Width != 16 && f.Width != 32 {
+		return fmt.Errorf("fixed: unsupported width %d (want 8, 16 or 32)", f.Width)
+	}
+	if f.Frac < 0 || f.Frac >= f.Width {
+		return fmt.Errorf("fixed: frac %d out of range for width %d", f.Frac, f.Width)
+	}
+	return nil
+}
+
+func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.Width-f.Frac, f.Frac) }
+
+// Max returns the largest representable stored integer, 2^(Width-1)-1.
+func (f Format) Max() int32 { return int32(1)<<(f.Width-1) - 1 }
+
+// Min returns the smallest representable stored integer, -2^(Width-1).
+func (f Format) Min() int32 { return -(int32(1) << (f.Width - 1)) }
+
+// Scale returns the value of one least-significant bit, 2^-Frac.
+func (f Format) Scale() float64 { return math.Ldexp(1, -f.Frac) }
+
+// Quantize converts a real value to the nearest representable stored integer,
+// rounding half away from zero and saturating at the representable range.
+func (f Format) Quantize(x float64) int32 {
+	scaled := x * math.Ldexp(1, f.Frac)
+	var r float64
+	if scaled >= 0 {
+		r = math.Floor(scaled + 0.5)
+	} else {
+		r = math.Ceil(scaled - 0.5)
+	}
+	if r > float64(f.Max()) {
+		return f.Max()
+	}
+	if r < float64(f.Min()) {
+		return f.Min()
+	}
+	return int32(r)
+}
+
+// Dequantize converts a stored integer back to its real value.
+func (f Format) Dequantize(v int32) float64 { return float64(v) * f.Scale() }
+
+// Saturate clamps a wide integer to the representable range of the format.
+func (f Format) Saturate(v int64) int32 {
+	if v > int64(f.Max()) {
+		return f.Max()
+	}
+	if v < int64(f.Min()) {
+		return f.Min()
+	}
+	return int32(v)
+}
+
+// Requantize narrows a wide accumulator holding a value with 2*Frac
+// fractional bits (the natural result of multiplying two Frac-bit values and
+// accumulating) back to Frac fractional bits: shift right by Frac with
+// round-half-away-from-zero, then saturate. This is the single rounding step
+// at the end of a MAC chain.
+func (f Format) Requantize(acc int64) int32 {
+	return f.Saturate(RoundShift(acc, uint(f.Frac)))
+}
+
+// RequantizeShift narrows a wide accumulator by an arbitrary shift: for
+// shift >= 0 it rounds half away from zero while shifting right, for
+// shift < 0 it shifts left. The result saturates to the format. This is the
+// general form used when input, weight and output formats carry different
+// fractional widths.
+func (f Format) RequantizeShift(acc int64, shift int) int32 {
+	if shift >= 0 {
+		return f.Saturate(RoundShift(acc, uint(shift)))
+	}
+	s := uint(-shift)
+	if s > 62 {
+		s = 62
+	}
+	// Detect overflow of the left shift before it happens.
+	limit := int64(1) << (62 - s)
+	if acc >= limit {
+		return f.Max()
+	}
+	if acc <= -limit {
+		return f.Min()
+	}
+	return f.Saturate(acc << s)
+}
+
+// RoundShift arithmetic-right-shifts v by s bits, rounding half away from
+// zero. For s == 0 it returns v unchanged.
+func RoundShift(v int64, s uint) int64 {
+	if s == 0 {
+		return v
+	}
+	half := int64(1) << (s - 1)
+	if v >= 0 {
+		return (v + half) >> s
+	}
+	return -((-v + half) >> s)
+}
+
+// FlipBit returns v with bit b toggled. b counts from the least significant
+// bit. It is the primitive used by every fault-injection semantics.
+func FlipBit(v int64, b uint) int64 { return v ^ (int64(1) << b) }
+
+// FlipBit32 toggles bit b of a stored (narrow) value, then re-saturates to
+// the format so the corrupted value remains representable, as a register of
+// Width bits would behave (the flip happens inside the register, so no
+// saturation applies; the value is reinterpreted as a two's-complement
+// Width-bit integer).
+func (f Format) FlipBit32(v int32, b uint) int32 {
+	if int(b) >= f.Width {
+		b = uint(f.Width - 1)
+	}
+	u := uint32(v) ^ (uint32(1) << b)
+	// Sign-extend from Width bits.
+	shift := uint(32 - f.Width)
+	return int32(u<<shift) >> shift
+}
+
+// OperandBits returns the number of bits in one stored operand.
+func (f Format) OperandBits() int { return f.Width }
+
+// ProductBits returns the width of the full product register of a
+// Width x Width signed multiply.
+func (f Format) ProductBits() int { return 2 * f.Width }
+
+// AccumulatorBits is the width of the MAC accumulator register modelled for
+// ResultFlip faults on additions. 32 bits matches typical int8/int16 DNN
+// accelerator datapaths (the paper's DNN Engine uses a wide accumulator).
+const AccumulatorBits = 32

@@ -1,0 +1,198 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatValidate(t *testing.T) {
+	cases := []struct {
+		f  Format
+		ok bool
+	}{
+		{Format{8, 4}, true},
+		{Format{16, 8}, true},
+		{Format{32, 16}, true},
+		{Format{16, 16}, false},
+		{Format{16, -1}, false},
+		{Format{12, 4}, false},
+		{Format{8, 8}, false},
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", c.f, err, c.ok)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	if Int8.Max() != 127 || Int8.Min() != -128 {
+		t.Fatalf("Int8 range = [%d,%d]", Int8.Min(), Int8.Max())
+	}
+	if Int16.Max() != 32767 || Int16.Min() != -32768 {
+		t.Fatalf("Int16 range = [%d,%d]", Int16.Min(), Int16.Max())
+	}
+	if got := Int16.Scale(); got != 1.0/256 {
+		t.Fatalf("Int16.Scale() = %v", got)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	f := Int16
+	for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.14159, -2.71828, 100.125} {
+		q := f.Quantize(x)
+		back := f.Dequantize(q)
+		if math.Abs(back-x) > f.Scale()/2+1e-12 {
+			t.Errorf("round trip %v -> %d -> %v exceeds half-LSB", x, q, back)
+		}
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	f := Int8
+	if got := f.Quantize(1e9); got != f.Max() {
+		t.Errorf("Quantize(1e9) = %d, want %d", got, f.Max())
+	}
+	if got := f.Quantize(-1e9); got != f.Min() {
+		t.Errorf("Quantize(-1e9) = %d, want %d", got, f.Min())
+	}
+}
+
+func TestQuantizeRoundHalfAwayFromZero(t *testing.T) {
+	f := Format{Width: 16, Frac: 0}
+	if got := f.Quantize(2.5); got != 3 {
+		t.Errorf("Quantize(2.5) = %d, want 3", got)
+	}
+	if got := f.Quantize(-2.5); got != -3 {
+		t.Errorf("Quantize(-2.5) = %d, want -3", got)
+	}
+	if got := f.Quantize(2.4); got != 2 {
+		t.Errorf("Quantize(2.4) = %d, want 2", got)
+	}
+}
+
+func TestRoundShift(t *testing.T) {
+	cases := []struct {
+		v    int64
+		s    uint
+		want int64
+	}{
+		{0, 4, 0},
+		{16, 4, 1},
+		{8, 4, 1},   // exactly half rounds away
+		{7, 4, 0},   // below half truncates
+		{-8, 4, -1}, // negative half rounds away
+		{-7, 4, 0},
+		{-16, 4, -1},
+		{255, 0, 255},
+		{1 << 30, 8, 1 << 22},
+	}
+	for _, c := range cases {
+		if got := RoundShift(c.v, c.s); got != c.want {
+			t.Errorf("RoundShift(%d,%d) = %d, want %d", c.v, c.s, got, c.want)
+		}
+	}
+}
+
+func TestRoundShiftSymmetry(t *testing.T) {
+	// RoundShift must be odd: RoundShift(-v) == -RoundShift(v).
+	err := quick.Check(func(v int64, s uint8) bool {
+		sh := uint(s % 16)
+		if v == math.MinInt64 {
+			return true
+		}
+		return RoundShift(-v, sh) == -RoundShift(v, sh)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequantizeMatchesFloat(t *testing.T) {
+	// Requantize of an exact product must match float math within 1 LSB.
+	f := Int16
+	err := quick.Check(func(a16, b16 int16) bool {
+		a, b := int32(a16), int32(b16)
+		acc := int64(a) * int64(b)
+		got := f.Requantize(acc)
+		want := f.Quantize(f.Dequantize(a) * f.Dequantize(b))
+		d := int64(got) - int64(want)
+		return d >= -1 && d <= 1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	if got := FlipBit(0, 0); got != 1 {
+		t.Errorf("FlipBit(0,0) = %d", got)
+	}
+	if got := FlipBit(1, 0); got != 0 {
+		t.Errorf("FlipBit(1,0) = %d", got)
+	}
+	if got := FlipBit(0, 63); got != math.MinInt64 {
+		t.Errorf("FlipBit(0,63) = %d", got)
+	}
+	// Involution property.
+	err := quick.Check(func(v int64, b uint8) bool {
+		bit := uint(b % 64)
+		return FlipBit(FlipBit(v, bit), bit) == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBit32SignExtension(t *testing.T) {
+	f := Int8
+	// Flipping the sign bit of 0 in an 8-bit register yields -128.
+	if got := f.FlipBit32(0, 7); got != -128 {
+		t.Errorf("FlipBit32(0,7) = %d, want -128", got)
+	}
+	// Flipping bit 0 of -128 yields -127.
+	if got := f.FlipBit32(-128, 0); got != -127 {
+		t.Errorf("FlipBit32(-128,0) = %d, want -127", got)
+	}
+	// Out-of-range bit index clamps to the sign bit.
+	if got := f.FlipBit32(0, 200); got != -128 {
+		t.Errorf("FlipBit32(0,200) = %d, want -128", got)
+	}
+}
+
+func TestFlipBit32Involution(t *testing.T) {
+	for _, f := range []Format{Int8, Int16} {
+		err := quick.Check(func(v int32, b uint8) bool {
+			bit := uint(int(b) % f.Width)
+			s := f.Saturate(int64(v))
+			return f.FlipBit32(f.FlipBit32(s, bit), bit) == s
+		}, nil)
+		if err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	f := Int16
+	if got := f.Saturate(1 << 40); got != f.Max() {
+		t.Errorf("Saturate(big) = %d", got)
+	}
+	if got := f.Saturate(-(1 << 40)); got != f.Min() {
+		t.Errorf("Saturate(-big) = %d", got)
+	}
+	if got := f.Saturate(1234); got != 1234 {
+		t.Errorf("Saturate(1234) = %d", got)
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if Int8.ProductBits() != 16 || Int16.ProductBits() != 32 {
+		t.Error("product widths wrong")
+	}
+	if Int8.OperandBits() != 8 || Int16.OperandBits() != 16 {
+		t.Error("operand widths wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package models
+
+import "fmt"
+
+// VGG19 builds the 16-convolution VGG configuration E adapted to CIFAR-100
+// (the paper's VGG19@CIFAR-100 benchmark): five conv stages with 2/2/4/4/4
+// 3x3 convolutions separated by 2x2 max pooling, then a 512-unit hidden FC
+// and the classifier. Native input is 32x32.
+func VGG19(o Options) *Arch {
+	size := o.inputSize(32)
+	b := newArchBuilder("vgg19", "cifar100", 100, 3, size, size)
+	stages := [][]int{{64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512}, {512, 512, 512, 512}}
+	x := -1
+	for si, stage := range stages {
+		for ci, c := range stage {
+			x = b.convReLU(fmt.Sprintf("conv%d_%d", si+1, ci+1), x, o.scaleC(c), 3, 1, 1)
+		}
+		if b.shapeOf(x).H >= 2 {
+			x = b.maxpool(fmt.Sprintf("pool%d", si+1), x, 2, 2, 0)
+		}
+	}
+	x = b.flatten("flatten", x)
+	x = b.relu("fc1.relu", b.fc("fc1", x, o.scaleC(512)))
+	x = b.fc("fc2", x, 100)
+	return b.finish(x)
+}
+
+// ResNet50 builds the bottleneck ResNet-50 for ImageNet (paper benchmark):
+// 7x7/2 stem, 3x3/2 max pool, stages of 3/4/6/3 bottleneck blocks, global
+// average pooling and a 1000-way classifier. Native input is 224x224.
+func ResNet50(o Options) *Arch {
+	size := o.inputSize(224)
+	b := newArchBuilder("resnet50", "imagenet", 1000, 3, size, size)
+	x := b.convReLU("conv1", -1, o.scaleC(64), 7, 2, 3)
+	x = b.maxpool("pool1", x, 3, 2, 1)
+
+	blocks := []int{3, 4, 6, 3}
+	mids := []int{64, 128, 256, 512}
+	for si, nBlocks := range blocks {
+		mid, out := o.scaleC(mids[si]), o.scaleC(mids[si]*4)
+		for bi := 0; bi < nBlocks; bi++ {
+			name := fmt.Sprintf("res%d_%d", si+2, bi+1)
+			stride := 1
+			if bi == 0 && si > 0 {
+				stride = 2
+			}
+			inIdx := x
+			y := b.convReLU(name+".a", x, mid, 1, stride, 0)
+			y = b.convReLU(name+".b", y, mid, 3, 1, 1)
+			y = b.convNB(name+".c", y, out, 1, 1, 0)
+			short := inIdx
+			if bi == 0 {
+				short = b.convNB(name+".down", inIdx, out, 1, stride, 0)
+			}
+			x = b.relu(name+".relu", b.add(name+".add", y, short))
+		}
+	}
+	x = b.gap("gap", x)
+	x = b.flatten("flatten", x)
+	x = b.fc("fc", x, 1000)
+	return b.finish(x)
+}
+
+// DenseNet169 builds DenseNet-169 for ImageNet (paper benchmark): 7x7/2
+// stem, dense blocks of 6/12/32/32 bottleneck layers with growth rate 32,
+// half-compression transitions, global average pooling and classifier.
+// Native input is 224x224.
+func DenseNet169(o Options) *Arch {
+	size := o.inputSize(224)
+	growth := o.scaleC(32)
+	b := newArchBuilder("densenet169", "imagenet", 1000, 3, size, size)
+	x := b.convReLU("conv1", -1, o.scaleC(64), 7, 2, 3)
+	x = b.maxpool("pool1", x, 3, 2, 1)
+
+	blocks := []int{6, 12, 32, 32}
+	for bi, nLayers := range blocks {
+		for li := 0; li < nLayers; li++ {
+			name := fmt.Sprintf("dense%d_%d", bi+1, li+1)
+			y := b.convReLU(name+".bottleneck", x, 4*growth, 1, 1, 0)
+			y = b.convReLU(name+".conv", y, growth, 3, 1, 1)
+			x = b.concat(name+".cat", x, y)
+		}
+		if bi < len(blocks)-1 {
+			name := fmt.Sprintf("trans%d", bi+1)
+			c := b.shapeOf(x).C / 2
+			if c < 2 {
+				c = 2
+			}
+			x = b.convReLU(name+".conv", x, c, 1, 1, 0)
+			if b.shapeOf(x).H >= 2 {
+				x = b.avgpool(name+".pool", x, 2, 2, 0)
+			}
+		}
+	}
+	x = b.gap("gap", x)
+	x = b.flatten("flatten", x)
+	x = b.fc("fc", x, 1000)
+	return b.finish(x)
+}
+
+// inceptionSpec is one GoogLeNet inception module configuration.
+type inceptionSpec struct {
+	name                     string
+	c1, c3r, c3, c5r, c5, pp int
+}
+
+// GoogLeNet builds GoogLeNet for CIFAR-10 (paper benchmark): the CIFAR
+// adaptation replaces the 7x7/2 stem with a 3x3/1 convolution so 32x32
+// inputs retain spatial extent, then follows the ImageNet inception stack.
+// The 5x5 inception branches exercise the DWM kernel decomposition under
+// the winograd engine. Native input is 32x32.
+func GoogLeNet(o Options) *Arch {
+	size := o.inputSize(32)
+	b := newArchBuilder("googlenet", "cifar10", 10, 3, size, size)
+	x := b.convReLU("conv1", -1, o.scaleC(64), 3, 1, 1)
+	x = b.convReLU("conv2", x, o.scaleC(64), 1, 1, 0)
+	x = b.convReLU("conv3", x, o.scaleC(192), 3, 1, 1)
+	x = b.maxpool("pool1", x, 3, 2, 1)
+
+	specs3 := []inceptionSpec{
+		{"3a", 64, 96, 128, 16, 32, 32},
+		{"3b", 128, 128, 192, 32, 96, 64},
+	}
+	specs4 := []inceptionSpec{
+		{"4a", 192, 96, 208, 16, 48, 64},
+		{"4b", 160, 112, 224, 24, 64, 64},
+		{"4c", 128, 128, 256, 24, 64, 64},
+		{"4d", 112, 144, 288, 32, 64, 64},
+		{"4e", 256, 160, 320, 32, 128, 128},
+	}
+	specs5 := []inceptionSpec{
+		{"5a", 256, 160, 320, 32, 128, 128},
+		{"5b", 384, 192, 384, 48, 128, 128},
+	}
+	for _, s := range specs3 {
+		x = b.inception(s, o, x)
+	}
+	x = b.maxpool("pool2", x, 3, 2, 1)
+	for _, s := range specs4 {
+		x = b.inception(s, o, x)
+	}
+	x = b.maxpool("pool3", x, 3, 2, 1)
+	for _, s := range specs5 {
+		x = b.inception(s, o, x)
+	}
+	x = b.gap("gap", x)
+	x = b.flatten("flatten", x)
+	x = b.fc("fc", x, 10)
+	return b.finish(x)
+}
+
+func (b *archBuilder) inception(s inceptionSpec, o Options, x int) int {
+	n := "inc" + s.name
+	b1 := b.convReLU(n+".b1", x, o.scaleC(s.c1), 1, 1, 0)
+	b3 := b.convReLU(n+".b3r", x, o.scaleC(s.c3r), 1, 1, 0)
+	b3 = b.convReLU(n+".b3", b3, o.scaleC(s.c3), 3, 1, 1)
+	b5 := b.convReLU(n+".b5r", x, o.scaleC(s.c5r), 1, 1, 0)
+	b5 = b.convReLU(n+".b5", b5, o.scaleC(s.c5), 5, 1, 2)
+	bp := b.maxpool(n+".pool", x, 3, 1, 1)
+	bp = b.convReLU(n+".pp", bp, o.scaleC(s.pp), 1, 1, 0)
+	return b.concat(n+".cat", b1, b3, b5, bp)
+}
+
+// Zoo returns the four paper benchmarks at the given scale, keyed by the
+// names used throughout the experiments.
+func Zoo(o Options) map[string]*Arch {
+	return map[string]*Arch{
+		"vgg19":       VGG19(o),
+		"resnet50":    ResNet50(o),
+		"densenet169": DenseNet169(o),
+		"googlenet":   GoogLeNet(o),
+	}
+}
+
+// ByName returns one benchmark architecture by name.
+func ByName(name string, o Options) (*Arch, error) {
+	switch name {
+	case "vgg19":
+		return VGG19(o), nil
+	case "resnet50":
+		return ResNet50(o), nil
+	case "densenet169":
+		return DenseNet169(o), nil
+	case "googlenet":
+		return GoogLeNet(o), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q (want vgg19, resnet50, densenet169 or googlenet)", name)
+	}
+}

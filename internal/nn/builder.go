@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fixed"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// Config fixes everything needed to instantiate a network deterministically.
+// Two configs differing only in Kind produce networks with *identical
+// weights and neurons* — the property the paper's ST-vs-WG comparison rests
+// on — because weight generation derives from Seed and layer names only.
+type Config struct {
+	Kind   EngineKind
+	Tile   *winograd.Tile // tile algorithm for Kind == Winograd; F2 if nil
+	ActFmt fixed.Format   // activation quantization
+	WFmt   fixed.Format   // weight quantization
+	Seed   uint64
+}
+
+// DefaultConfig returns an int16 direct-convolution configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{Kind: Direct, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: seed}
+}
+
+func (c Config) tile() *winograd.Tile {
+	if c.Tile == nil {
+		return winograd.F2
+	}
+	return c.Tile
+}
+
+// Builder incrementally constructs a Network, tracking shapes so layer
+// weights can be sized from their fan-in and initialized deterministically.
+type Builder struct {
+	net     *Network
+	cfg     Config
+	root    *rng.Stream
+	inShape tensor.Shape
+	shapes  []tensor.Shape
+}
+
+// NewBuilder starts a network with a {1, c, h, w} input.
+func NewBuilder(name string, cfg Config, c, h, w int) *Builder {
+	return &Builder{
+		net:     &Network{Name: name, Kind: cfg.Kind, InShape: tensor.Shape{N: 1, C: c, H: h, W: w}},
+		cfg:     cfg,
+		root:    rng.New(cfg.Seed),
+		inShape: tensor.Shape{N: 1, C: c, H: h, W: w},
+	}
+}
+
+// Input returns the pseudo-index of the network input.
+func (b *Builder) Input() int { return InputNode }
+
+func (b *Builder) shapeOf(idx int) tensor.Shape {
+	if idx == InputNode {
+		return b.inShape
+	}
+	return b.shapes[idx]
+}
+
+func (b *Builder) push(name string, op Op, inputs ...int) int {
+	ins := make([]tensor.Shape, len(inputs))
+	for i, idx := range inputs {
+		ins[i] = b.shapeOf(idx)
+	}
+	b.net.Nodes = append(b.net.Nodes, Node{Name: name, Op: op, Inputs: inputs})
+	b.shapes = append(b.shapes, op.OutShape(ins))
+	return len(b.net.Nodes) - 1
+}
+
+// HeWeights draws He-initialized weights (std = sqrt(2/fanIn)) and small
+// biases from the stream derived from the layer name, so layers are
+// reproducible from (seed, name) alone regardless of construction order.
+func HeWeights(root *rng.Stream, name string, outC, inC, kh, kw int) (*tensor.Tensor, []float64) {
+	r := root.SplitString(name)
+	std := math.Sqrt(2.0 / float64(inC*kh*kw))
+	w := tensor.New(tensor.Shape{N: outC, C: inC, H: kh, W: kw}).Random(r, std)
+	bias := make([]float64, outC)
+	for i := range bias {
+		bias[i] = r.NormFloat64() * 0.02
+	}
+	return w, bias
+}
+
+func (b *Builder) heWeights(name string, outC, inC, kh, kw int) (*tensor.Tensor, []float64) {
+	return HeWeights(b.root, name, outC, inC, kh, kw)
+}
+
+// Conv appends a KxK convolution with the builder's engine kind.
+func (b *Builder) Conv(name string, from, outC, k, stride, pad int) int {
+	in := b.shapeOf(from)
+	w, bias := b.heWeights(name, outC, in.C, k, k)
+	op := NewConv(w, bias, stride, pad, b.cfg.Kind, b.cfg.tile(), b.cfg.WFmt, b.cfg.ActFmt)
+	return b.push(name, op, from)
+}
+
+// ConvNoBias appends a convolution without bias (used ahead of residual adds).
+func (b *Builder) ConvNoBias(name string, from, outC, k, stride, pad int) int {
+	in := b.shapeOf(from)
+	w, _ := b.heWeights(name, outC, in.C, k, k)
+	op := NewConv(w, nil, stride, pad, b.cfg.Kind, b.cfg.tile(), b.cfg.WFmt, b.cfg.ActFmt)
+	return b.push(name, op, from)
+}
+
+// ReLU appends an activation.
+func (b *Builder) ReLU(name string, from int) int { return b.push(name, ReLU{}, from) }
+
+// ConvReLU is the common conv-then-activation pair; returns the ReLU index.
+func (b *Builder) ConvReLU(name string, from, outC, k, stride, pad int) int {
+	return b.ReLU(name+".relu", b.Conv(name, from, outC, k, stride, pad))
+}
+
+// MaxPool appends max pooling.
+func (b *Builder) MaxPool(name string, from, k, stride, pad int) int {
+	return b.push(name, MaxPool{K: k, Stride: stride, Pad: pad}, from)
+}
+
+// AvgPool appends average pooling.
+func (b *Builder) AvgPool(name string, from, k, stride, pad int) int {
+	return b.push(name, AvgPool{K: k, Stride: stride, Pad: pad}, from)
+}
+
+// GlobalAvgPool appends a global average pool.
+func (b *Builder) GlobalAvgPool(name string, from int) int {
+	return b.push(name, GlobalAvgPool{}, from)
+}
+
+// Add appends a residual addition.
+func (b *Builder) Add(name string, x, y int) int { return b.push(name, Add{}, x, y) }
+
+// Concat appends a channel concatenation.
+func (b *Builder) Concat(name string, xs ...int) int { return b.push(name, Concat{}, xs...) }
+
+// Flatten appends a flatten.
+func (b *Builder) Flatten(name string, from int) int { return b.push(name, Flatten{}, from) }
+
+// FC appends a fully-connected layer (input must be {N, features, 1, 1}).
+func (b *Builder) FC(name string, from, outFeatures int) int {
+	in := b.shapeOf(from)
+	if in.H != 1 || in.W != 1 {
+		panic(fmt.Sprintf("nn: FC input must be flattened, got %v", in))
+	}
+	w, bias := b.heWeights(name, outFeatures, in.C, 1, 1)
+	return b.push(name, NewFC(w, bias, b.cfg.WFmt, b.cfg.ActFmt), from)
+}
+
+// Shape returns the current output shape of a node (for builders that need
+// to inspect intermediate extents).
+func (b *Builder) Shape(idx int) tensor.Shape { return b.shapeOf(idx) }
+
+// Build finalizes the network with the given output node.
+func (b *Builder) Build(output int) *Network {
+	b.net.Output = output
+	if err := b.net.Validate(); err != nil {
+		panic(err)
+	}
+	return b.net
+}

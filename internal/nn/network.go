@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/tensor"
+)
+
+// InputNode is the pseudo-index denoting the network input in Node.Inputs.
+const InputNode = -1
+
+// Node is one operation in the inference DAG, consuming the outputs of
+// earlier nodes (indices must be strictly increasing, i.e. the node list is
+// already topologically ordered).
+type Node struct {
+	Name   string
+	Op     Op
+	Inputs []int
+}
+
+// Injector supplies fault events during a forward pass. A nil Injector means
+// a golden (fault-free) run.
+type Injector interface {
+	// OpEvents returns the operation-level fault events for node li, whose
+	// op census for this invocation is c. It is called only for nodes with a
+	// non-empty census.
+	OpEvents(li int, c fault.Census) []fault.Event
+	// Neuron may corrupt the output activation of node li in place
+	// (neuron-level semantics); it is called for every node.
+	Neuron(li int, q *tensor.QTensor)
+}
+
+// Network is a quantized inference DAG.
+type Network struct {
+	Name    string
+	Kind    EngineKind
+	InShape tensor.Shape // with N == 1; batch dimension comes from the input
+	Nodes   []Node
+	Output  int // index of the output node (logits {N, classes, 1, 1})
+}
+
+// Validate checks graph well-formedness.
+func (n *Network) Validate() error {
+	for i, nd := range n.Nodes {
+		if nd.Op == nil {
+			return fmt.Errorf("nn: node %d (%s) has nil op", i, nd.Name)
+		}
+		if len(nd.Inputs) == 0 {
+			return fmt.Errorf("nn: node %d (%s) has no inputs", i, nd.Name)
+		}
+		for _, in := range nd.Inputs {
+			if in != InputNode && (in < 0 || in >= i) {
+				return fmt.Errorf("nn: node %d (%s) has invalid input %d", i, nd.Name, in)
+			}
+		}
+	}
+	if n.Output < 0 || n.Output >= len(n.Nodes) {
+		return fmt.Errorf("nn: output index %d out of range", n.Output)
+	}
+	return nil
+}
+
+// shapesOf resolves the input shapes of node i given all node output shapes.
+func (n *Network) shapesOf(i int, shapes []tensor.Shape, inShape tensor.Shape) []tensor.Shape {
+	ins := make([]tensor.Shape, len(n.Nodes[i].Inputs))
+	for j, idx := range n.Nodes[i].Inputs {
+		if idx == InputNode {
+			ins[j] = inShape
+		} else {
+			ins[j] = shapes[idx]
+		}
+	}
+	return ins
+}
+
+// Shapes returns every node's output shape for a given input batch shape.
+func (n *Network) Shapes(inShape tensor.Shape) []tensor.Shape {
+	shapes := make([]tensor.Shape, len(n.Nodes))
+	for i := range n.Nodes {
+		shapes[i] = n.Nodes[i].Op.OutShape(n.shapesOf(i, shapes, inShape))
+	}
+	return shapes
+}
+
+// LayerCensus returns per-node op censuses for a given input batch shape.
+func (n *Network) LayerCensus(inShape tensor.Shape) []fault.Census {
+	shapes := make([]tensor.Shape, len(n.Nodes))
+	census := make([]fault.Census, len(n.Nodes))
+	for i := range n.Nodes {
+		ins := n.shapesOf(i, shapes, inShape)
+		census[i] = n.Nodes[i].Op.Census(ins)
+		shapes[i] = n.Nodes[i].Op.OutShape(ins)
+	}
+	return census
+}
+
+// TotalCensus sums all node censuses.
+func (n *Network) TotalCensus(inShape tensor.Shape) fault.Census {
+	var total fault.Census
+	for _, c := range n.LayerCensus(inShape) {
+		total = total.AddCensus(c)
+	}
+	return total
+}
+
+// Forward runs the network on a quantized input batch. inj may be nil for a
+// golden run. The returned tensor is the output node's activation (logits).
+func (n *Network) Forward(in *tensor.QTensor, inj Injector) *tensor.QTensor {
+	acts := make([]*tensor.QTensor, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		ins := make([]*tensor.QTensor, len(nd.Inputs))
+		shapes := make([]tensor.Shape, len(nd.Inputs))
+		for j, idx := range nd.Inputs {
+			if idx == InputNode {
+				ins[j] = in
+			} else {
+				ins[j] = acts[idx]
+			}
+			shapes[j] = ins[j].Shape
+		}
+		var events []fault.Event
+		if inj != nil {
+			if c := nd.Op.Census(shapes); c.Total() > 0 {
+				events = inj.OpEvents(i, c)
+			}
+		}
+		acts[i] = nd.Op.Forward(ins, events)
+		if inj != nil {
+			inj.Neuron(i, acts[i])
+		}
+	}
+	return acts[n.Output]
+}
+
+// Argmax returns the predicted class per batch element of a logits tensor
+// shaped {N, classes, 1, 1}.
+func Argmax(logits *tensor.QTensor) []int {
+	out := make([]int, logits.Shape.N)
+	classes := logits.Shape.C
+	for n := 0; n < logits.Shape.N; n++ {
+		best, bestIdx := logits.At(n, 0, 0, 0), 0
+		for c := 1; c < classes; c++ {
+			if v := logits.At(n, c, 0, 0); v > best {
+				best, bestIdx = v, c
+			}
+		}
+		out[n] = bestIdx
+	}
+	return out
+}
+
+// ConvNodes returns the indices of all convolution/FC nodes, the layers the
+// paper's layer-wise analysis and TMR protection operate on.
+func (n *Network) ConvNodes() []int {
+	var out []int
+	for i, nd := range n.Nodes {
+		if _, ok := nd.Op.(*ConvOp); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

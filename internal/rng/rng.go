@@ -1,0 +1,225 @@
+// Package rng provides the deterministic, splittable random number streams
+// used throughout the fault-injection platform. Every experiment in the
+// reproduction is exactly repeatable: a root seed is split per (experiment,
+// sample, layer, op-class) into independent streams, so changing the order in
+// which layers are simulated does not perturb the fault pattern of other
+// layers.
+//
+// The generator is xoshiro256**, seeded through SplitMix64, which is the
+// combination recommended by its authors. Only stdlib is used.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream. The zero value is not
+// usable; construct with New or Split.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next SplitMix64 output.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from the given seed.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// Guard against the all-zero state (astronomically unlikely but cheap).
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Split derives an independent child stream identified by label. Splitting is
+// deterministic: the same parent state and label always yield the same child,
+// and splitting does not advance the parent, so sibling order is irrelevant.
+func (r *Stream) Split(label uint64) *Stream {
+	x := r.s[0] ^ rotl(r.s[2], 17) ^ (label * 0xd1342543de82ef95)
+	return New(splitmix64(&x) ^ label)
+}
+
+// SplitString derives a child stream from a string label (FNV-1a hashed).
+func (r *Stream) SplitString(label string) *Stream {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return r.Split(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Intn returns a uniform integer in [0,n). n must be > 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniform int64 in [0,n). n must be > 0.
+func (r *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0,n) using Lemire's rejection method.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Classic modulo-rejection, unbiased.
+	max := ^uint64(0) - (^uint64(0)%n+1)%n
+	for {
+		v := r.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Stream) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Poisson returns a Poisson(lambda) variate. For small lambda it uses
+// Knuth's multiplication method; for large lambda a normal approximation
+// with continuity correction, which is statistically indistinguishable at
+// the fleet sizes used by statistical fault injection (lambda > 64 implies
+// relative error < 1e-2 on the tail probabilities that matter here).
+func (r *Stream) Poisson(lambda float64) int64 {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 64:
+		l := math.Exp(-lambda)
+		var k int64
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := math.Floor(lambda + math.Sqrt(lambda)*r.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return int64(n)
+	}
+}
+
+// Binomial returns a Binomial(n, p) variate. It is exact (per-trial) for
+// small n and uses the Poisson/normal limits for large n, matching the
+// regimes in which those limits hold to well under the Monte-Carlo noise of
+// the experiments.
+func (r *Stream) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	switch {
+	case n <= 64:
+		var k int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	case float64(n)*p < 32:
+		// Poisson limit for rare events; clamp to n.
+		k := r.Poisson(float64(n) * p)
+		if k > n {
+			k = n
+		}
+		return k
+	default:
+		mu := float64(n) * p
+		sigma := math.Sqrt(mu * (1 - p))
+		k := math.Floor(mu + sigma*r.NormFloat64() + 0.5)
+		if k < 0 {
+			return 0
+		}
+		if k > float64(n) {
+			return n
+		}
+		return int64(k)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0,n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,277 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds matched %d/100 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split(1)
+	c2 := root.Split(2)
+	c1again := root.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Error("Split is not deterministic")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical output")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(5)
+	_ = a.Split(6)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Split advanced the parent state")
+	}
+}
+
+func TestSplitString(t *testing.T) {
+	root := New(3)
+	if root.SplitString("conv1").Uint64() == root.SplitString("conv2").Uint64() {
+		t.Error("different string labels produced identical streams")
+	}
+	if root.SplitString("x").Uint64() != root.SplitString("x").Uint64() {
+		t.Error("same string label produced different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(17)
+	const buckets, n = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := n / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c-want)) > 4*math.Sqrt(float64(want)) {
+			t.Errorf("bucket %d count %d deviates from %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(23)
+	const n = int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(29)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.25) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.25) > 0.01 {
+		t.Errorf("Bernoulli(0.25) rate = %v", float64(hits)/n)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestPoissonSmallLambda(t *testing.T) {
+	r := New(37)
+	const lambda, n = 3.0, 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		k := float64(r.Poisson(lambda))
+		sum += k
+		sumsq += k * k
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-lambda) > 0.05 {
+		t.Errorf("Poisson(3) mean = %v", mean)
+	}
+	if math.Abs(variance-lambda) > 0.15 {
+		t.Errorf("Poisson(3) variance = %v", variance)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := New(41)
+	const lambda, n = 500.0, 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Poisson(lambda))
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda) > 1.5 {
+		t.Errorf("Poisson(500) mean = %v", mean)
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := New(43)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestBinomialRegimes(t *testing.T) {
+	r := New(47)
+	// Exact small-n regime.
+	var sum float64
+	const n1 = 50000
+	for i := 0; i < n1; i++ {
+		sum += float64(r.Binomial(20, 0.3))
+	}
+	if mean := sum / n1; math.Abs(mean-6) > 0.1 {
+		t.Errorf("Binomial(20,0.3) mean = %v, want 6", mean)
+	}
+	// Poisson-limit regime.
+	sum = 0
+	for i := 0; i < n1; i++ {
+		sum += float64(r.Binomial(1e9, 1e-8))
+	}
+	if mean := sum / n1; math.Abs(mean-10) > 0.2 {
+		t.Errorf("Binomial(1e9,1e-8) mean = %v, want 10", mean)
+	}
+	// Normal regime.
+	sum = 0
+	for i := 0; i < n1; i++ {
+		sum += float64(r.Binomial(10000, 0.5))
+	}
+	if mean := sum / n1; math.Abs(mean-5000) > 5 {
+		t.Errorf("Binomial(1e4,0.5) mean = %v, want 5000", mean)
+	}
+	// Edges.
+	if r.Binomial(10, 0) != 0 || r.Binomial(10, 1) != 10 || r.Binomial(0, 0.5) != 0 {
+		t.Error("Binomial edge cases wrong")
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(53)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation")
+		}
+		seen[v] = true
+	}
+	// First elements should differ across draws (overwhelmingly likely).
+	q := r.Perm(100)
+	same := true
+	for i := range p {
+		if p[i] != q[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two Perm draws identical")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(2.5)
+	}
+}

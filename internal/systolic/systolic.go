@@ -1,0 +1,202 @@
+// Package systolic is the Scale-Sim-style analytical performance model used
+// to estimate network runtime on the DNN accelerator (paper Section 4.2:
+// "estimated with a simulator modified on top of Scale-Sim"). It models a
+// weight-stationary RxC processing-element array: convolutions lower to
+// GEMMs, winograd convolutions lower to T² independent transform-domain
+// GEMMs plus shift-add transform passes on a vector unit, and the model
+// reports cycles, MACs and SRAM traffic per layer.
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// Array describes the PE array geometry.
+type Array struct {
+	Rows int // reduction dimension (weight rows)
+	Cols int // output-channel dimension
+	// VectorLanes is the width of the auxiliary vector unit executing
+	// winograd transform shift-adds and elementwise work.
+	VectorLanes int
+}
+
+// DNNEngine16 approximates the paper's 28nm DNN-Engine-class accelerator:
+// a modest 16x16 MAC array with a 16-lane vector unit.
+var DNNEngine16 = Array{Rows: 16, Cols: 16, VectorLanes: 16}
+
+// Cost aggregates the performance-model outputs for a workload.
+type Cost struct {
+	Cycles    int64
+	MACs      int64
+	VectorOps int64 // shift-add / elementwise ops on the vector unit
+	SRAMReads int64
+}
+
+// Add accumulates another cost.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		Cycles:    c.Cycles + o.Cycles,
+		MACs:      c.MACs + o.MACs,
+		VectorOps: c.VectorOps + o.VectorOps,
+		SRAMReads: c.SRAMReads + o.SRAMReads,
+	}
+}
+
+// Utilization returns achieved MACs per PE-cycle.
+func (c Cost) Utilization(a Array) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.MACs) / (float64(c.Cycles) * float64(a.Rows*a.Cols))
+}
+
+// GEMM returns the weight-stationary cycle estimate for an MxN output with
+// reduction depth K: the (K x N) weight matrix is tiled onto the array; each
+// of the ceil(K/Rows)·ceil(N/Cols) folds streams the M input vectors through
+// the array with a Rows+Cols-1 cycle fill/drain skew. Weights are
+// double-buffered (next fold's weights load during the current fold's
+// compute), so only the first load is exposed — the Scale-Sim
+// weight-stationary formula with weight prefetch.
+func (a Array) GEMM(m, k, n int64) Cost {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return Cost{}
+	}
+	foldK := (k + int64(a.Rows) - 1) / int64(a.Rows)
+	foldN := (n + int64(a.Cols) - 1) / int64(a.Cols)
+	perFold := m + int64(a.Rows) + int64(a.Cols) - 2
+	return Cost{
+		Cycles:    foldK*foldN*perFold + int64(a.Rows),
+		MACs:      m * k * n,
+		SRAMReads: foldK*foldN*int64(a.Rows*a.Cols) + foldN*m*k, // weights + streamed inputs
+	}
+}
+
+// vector returns the cycle cost of ops elementwise operations on the vector
+// unit.
+func (a Array) vector(ops int64) Cost {
+	lanes := int64(a.VectorLanes)
+	if lanes < 1 {
+		lanes = 1
+	}
+	return Cost{Cycles: (ops + lanes - 1) / lanes, VectorOps: ops}
+}
+
+// ConvDirect models a direct convolution as an im2col GEMM:
+// M = output pixels, K = inC·kh·kw, N = outC.
+func (a Array) ConvDirect(in tensor.Shape, outC, kh, kw, stride, pad int) Cost {
+	oh := int64((in.H+2*pad-kh)/stride + 1)
+	ow := int64((in.W+2*pad-kw)/stride + 1)
+	m := int64(in.N) * oh * ow
+	k := int64(in.C) * int64(kh) * int64(kw)
+	return a.GEMM(m, k, int64(outC))
+}
+
+// ConvWinograd models a winograd (DWM-decomposed) convolution: per
+// decomposition unit, T² transform-domain GEMMs with M = tiles,
+// K = inC, N = outC, plus input/output transform shift-adds and the DWM
+// summation on the vector unit.
+func (a Array) ConvWinograd(in tensor.Shape, outC, kh, kw, stride, pad int, t *winograd.Tile) Cost {
+	oh := int64((in.H+2*pad-kh)/stride + 1)
+	ow := int64((in.W+2*pad-kw)/stride + 1)
+	m := int64(t.M)
+	tilesY := (oh + m - 1) / m
+	tilesX := (ow + m - 1) / m
+	tiles := int64(in.N) * tilesY * tilesX
+
+	// One unit: T² GEMMs of (tiles x inC x outC) + transforms.
+	t2 := int64(t.T() * t.T())
+	unitGeoms := numUnits(kh, kw, stride, t.R)
+	var total Cost
+	for u := 0; u < unitGeoms; u++ {
+		var unitCost Cost
+		for p := int64(0); p < t2; p++ {
+			unitCost = unitCost.Add(a.GEMM(tiles, int64(in.C), int64(outC)))
+		}
+		itAdds := tiles * int64(in.C) * int64(t.InputAdds())
+		otAdds := tiles * int64(outC) * int64(t.OutputAdds())
+		unitCost = unitCost.Add(a.vector(itAdds + otAdds))
+		total = total.Add(unitCost)
+	}
+	if unitGeoms > 1 {
+		sum := int64(in.N) * int64(outC) * oh * ow * int64(unitGeoms-1)
+		total = total.Add(a.vector(sum))
+	}
+	return total
+}
+
+// numUnits mirrors the DWM decomposition unit count.
+func numUnits(kh, kw, stride, r int) int {
+	n := 0
+	for ry := 0; ry < stride; ry++ {
+		subKH := (kh - ry + stride - 1) / stride
+		if subKH <= 0 {
+			continue
+		}
+		for rx := 0; rx < stride; rx++ {
+			subKW := (kw - rx + stride - 1) / stride
+			if subKW <= 0 {
+				continue
+			}
+			n += ((subKH + r - 1) / r) * ((subKW + r - 1) / r)
+		}
+	}
+	return n
+}
+
+// NetworkCost sums the layer costs of an architecture under one engine kind
+// for a throughput batch of the given size (batch amortizes array fill/drain
+// across tiles, as pipelined accelerators do; cost is returned for the whole
+// batch). Non-conv ops (pooling, activation, residual adds) run on the
+// vector unit.
+func (a Array) NetworkCost(arch *models.Arch, kind nn.EngineKind, tile *winograd.Tile, batch int) Cost {
+	if tile == nil {
+		tile = winograd.F2
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	shapes := models.Shapes(arch)
+	var total Cost
+	for i, d := range arch.Ops {
+		in := arch.In
+		if d.Inputs[0] != nn.InputNode {
+			in = shapes[d.Inputs[0]]
+		}
+		in.N *= batch
+		outElems := int64(shapes[i].Elems()) * int64(batch)
+		_ = outElems
+		switch d.Kind {
+		case "conv":
+			if kind == nn.Winograd && d.K >= 2 {
+				total = total.Add(a.ConvWinograd(in, d.OutC, d.K, d.K, d.Stride, d.Pad, tile))
+			} else {
+				total = total.Add(a.ConvDirect(in, d.OutC, d.K, d.K, d.Stride, d.Pad))
+			}
+		case "fc":
+			total = total.Add(a.GEMM(int64(in.N), int64(in.C), int64(d.OutC)))
+		case "relu", "add", "concat":
+			total = total.Add(a.vector(outElems))
+		case "maxpool", "avgpool":
+			total = total.Add(a.vector(outElems * int64(d.K*d.K)))
+		case "gap":
+			total = total.Add(a.vector(int64(in.Elems())))
+		case "flatten":
+			// free
+		default:
+			panic(fmt.Sprintf("systolic: unknown op kind %q", d.Kind))
+		}
+	}
+	return total
+}
+
+// CensusCost converts an op census into vector-unit cycles; exposed for
+// ad-hoc what-if analyses.
+func (a Array) CensusCost(c fault.Census) Cost {
+	return a.vector(c.Total())
+}

@@ -1,0 +1,110 @@
+package systolic
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+func TestGEMMBasics(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16, VectorLanes: 16}
+	c := a.GEMM(100, 16, 16)
+	if c.MACs != 100*16*16 {
+		t.Errorf("MACs = %d", c.MACs)
+	}
+	// One fold: (100 + 16 + 16 - 2) + 16 prime = 146 cycles.
+	if c.Cycles != 146 {
+		t.Errorf("cycles = %d, want 146", c.Cycles)
+	}
+	if u := c.Utilization(a); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+	if got := a.GEMM(0, 5, 5); got != (Cost{}) {
+		t.Errorf("degenerate GEMM = %+v", got)
+	}
+}
+
+func TestGEMMFolds(t *testing.T) {
+	a := Array{Rows: 16, Cols: 16, VectorLanes: 16}
+	one := a.GEMM(10, 16, 16)
+	four := a.GEMM(10, 32, 32)
+	// 4x the folds, same single prime load.
+	if four.Cycles != 4*(one.Cycles-16)+16 {
+		t.Errorf("2x2 folds: %d cycles, want %d", four.Cycles, 4*(one.Cycles-16)+16)
+	}
+}
+
+func TestVectorRounding(t *testing.T) {
+	a := Array{Rows: 4, Cols: 4, VectorLanes: 8}
+	if c := a.vector(17); c.Cycles != 3 || c.VectorOps != 17 {
+		t.Errorf("vector(17) = %+v", c)
+	}
+}
+
+func TestWinogradFasterThanDirectOn3x3(t *testing.T) {
+	a := DNNEngine16
+	in := tensor.Shape{N: 1, C: 64, H: 32, W: 32}
+	st := a.ConvDirect(in, 64, 3, 3, 1, 1)
+	wg := a.ConvWinograd(in, 64, 3, 3, 1, 1, winograd.F2)
+	if wg.Cycles >= st.Cycles {
+		t.Errorf("winograd %d cycles not below direct %d", wg.Cycles, st.Cycles)
+	}
+	if wg.MACs >= st.MACs {
+		t.Errorf("winograd MACs %d not below direct %d", wg.MACs, st.MACs)
+	}
+}
+
+func TestNetworkCostAllModels(t *testing.T) {
+	// Runtime estimates feed the energy study, which models the paper's
+	// full-size networks: at full channel counts the transform-domain GEMMs
+	// amortize the array fill/drain and winograd wins cycles (at tiny scaled
+	// widths the skinny GEMMs would not — the model captures that fidelity).
+	a := DNNEngine16
+	for name, arch := range models.Zoo(models.Options{}) {
+		st := a.NetworkCost(arch, nn.Direct, nil, 16)
+		wg := a.NetworkCost(arch, nn.Winograd, winograd.F2, 16)
+		if st.Cycles <= 0 || wg.Cycles <= 0 {
+			t.Fatalf("%s: non-positive cycles", name)
+		}
+		// Winograd must win on the stride-1 3x3-dominated networks the
+		// paper's energy study uses (VGG19; GoogLeNet likewise). On the
+		// ImageNet models the DWM decomposition of the stride-2 stems eats
+		// into the gain — the model reports that honestly, so there we only
+		// require the gap to stay bounded.
+		switch name {
+		case "vgg19", "googlenet":
+			if wg.Cycles >= st.Cycles {
+				t.Errorf("%s: winograd cycles %d not below direct %d", name, wg.Cycles, st.Cycles)
+			}
+		default:
+			if float64(wg.Cycles) > 1.5*float64(st.Cycles) {
+				t.Errorf("%s: winograd cycles %d unreasonably above direct %d", name, wg.Cycles, st.Cycles)
+			}
+		}
+		if st.MACs <= 0 || wg.SRAMReads <= 0 {
+			t.Errorf("%s: missing cost components: %+v %+v", name, st, wg)
+		}
+	}
+}
+
+func TestNumUnitsMatchesDWM(t *testing.T) {
+	cases := []struct{ k, s, want int }{
+		{3, 1, 1}, {5, 1, 4}, {7, 2, 9}, {3, 2, 4}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := numUnits(c.k, c.k, c.s, 3); got != c.want {
+			t.Errorf("numUnits(k=%d,s=%d) = %d, want %d", c.k, c.s, got, c.want)
+		}
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Cycles: 1, MACs: 2, VectorOps: 3, SRAMReads: 4}
+	b := a.Add(a)
+	if b != (Cost{2, 4, 6, 8}) {
+		t.Errorf("Add = %+v", b)
+	}
+}

@@ -1,0 +1,197 @@
+// Package volt models the voltage-scaled DNN accelerator of the paper's
+// energy study (Section 4.2): a Whatmough-style 28nm DNN Engine running at
+// 667 MHz whose supply can be scaled from 0.9 V down to 0.7 V. Lowering the
+// voltage cuts power quadratically but raises the timing-error bit error
+// rate exponentially (paper Fig. 6: ~1e-12 at 0.82 V up to ~1e-8 at 0.77 V);
+// the network's fault tolerance decides how low the voltage may go.
+package volt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accelerator is the parametric voltage/power/error model.
+type Accelerator struct {
+	// VNom is the nominal (error-free) supply, 0.9 V for the DNN Engine.
+	VNom float64
+	// VMin is the lowest supported supply.
+	VMin float64
+	// Freq is the clock frequency in Hz (voltage scaling at iso-frequency,
+	// as in the paper's 667 MHz setup).
+	Freq float64
+	// PDynNom and PLeakNom are dynamic and leakage power at VNom, in watts.
+	PDynNom, PLeakNom float64
+	// VSafe is the highest voltage at which timing errors appear; above it
+	// the BER is zero.
+	VSafe float64
+	// BERAtSafe is the BER just below VSafe.
+	BERAtSafe float64
+	// DecadesPerVolt is the exponential slope of BER growth as voltage
+	// drops below VSafe (paper Fig. 6: ~4 decades over 0.05 V -> 80 /V).
+	DecadesPerVolt float64
+}
+
+// DNNEngine reproduces the paper's accelerator configuration: 0.9-0.7 V at
+// 667 MHz with first timing errors near 0.82 V and ~1e-8 BER at 0.77 V.
+var DNNEngine = Accelerator{
+	VNom:           0.90,
+	VMin:           0.70,
+	Freq:           667e6,
+	PDynNom:        0.30,
+	PLeakNom:       0.03,
+	VSafe:          0.82,
+	BERAtSafe:      1e-12,
+	DecadesPerVolt: 80,
+}
+
+// Validate checks model consistency.
+func (a Accelerator) Validate() error {
+	if !(a.VMin < a.VSafe && a.VSafe <= a.VNom) {
+		return fmt.Errorf("volt: need VMin < VSafe <= VNom, got %v < %v <= %v", a.VMin, a.VSafe, a.VNom)
+	}
+	if a.Freq <= 0 || a.PDynNom <= 0 || a.DecadesPerVolt <= 0 || a.BERAtSafe <= 0 {
+		return fmt.Errorf("volt: non-positive model parameter")
+	}
+	return nil
+}
+
+// BER returns the timing-error bit error rate at supply v.
+func (a Accelerator) BER(v float64) float64 {
+	if v >= a.VSafe {
+		return 0
+	}
+	if v < a.VMin {
+		v = a.VMin
+	}
+	return a.BERAtSafe * math.Pow(10, (a.VSafe-v)*a.DecadesPerVolt)
+}
+
+// Power returns total power at supply v: dynamic scales with V², leakage
+// roughly linearly (iso-frequency).
+func (a Accelerator) Power(v float64) float64 {
+	r := v / a.VNom
+	return a.PDynNom*r*r + a.PLeakNom*r
+}
+
+// Energy returns the energy in joules of running the given cycle count at
+// supply v.
+func (a Accelerator) Energy(cycles int64, v float64) float64 {
+	return a.Power(v) * float64(cycles) / a.Freq
+}
+
+// VoltageGrid returns supplies from lo to hi inclusive at the given step.
+func VoltageGrid(lo, hi, step float64) []float64 {
+	var out []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, math.Round(v*1000)/1000)
+	}
+	return out
+}
+
+// AccuracyCurve maps BER to accuracy via log-linear interpolation over
+// measured sweep points; it is how the energy explorer converts a voltage
+// (through BER) into expected model accuracy without re-running fault
+// injection at every candidate voltage.
+type AccuracyCurve struct {
+	bers []float64 // ascending, > 0
+	accs []float64
+}
+
+// NewAccuracyCurve builds a curve from (ber, accuracy) samples; bers must be
+// ascending and positive (the implicit BER-0 point has accuracy 1).
+func NewAccuracyCurve(bers, accs []float64) *AccuracyCurve {
+	if len(bers) != len(accs) || len(bers) == 0 {
+		panic("volt: malformed accuracy curve")
+	}
+	for i, b := range bers {
+		if b <= 0 || (i > 0 && b <= bers[i-1]) {
+			panic("volt: curve BERs must be positive ascending")
+		}
+	}
+	return &AccuracyCurve{bers: bers, accs: accs}
+}
+
+// At returns the interpolated accuracy at the given BER.
+func (c *AccuracyCurve) At(ber float64) float64 {
+	if ber <= 0 {
+		return 1
+	}
+	if ber <= c.bers[0] {
+		// Interpolate toward the implicit (ber->0, acc 1) asymptote.
+		f := math.Log10(ber/c.bers[0]/0.01) / 2 // two decades to reach 1
+		if f < 0 {
+			return 1
+		}
+		return 1 + (c.accs[0]-1)*f
+	}
+	last := len(c.bers) - 1
+	if ber >= c.bers[last] {
+		return c.accs[last]
+	}
+	for i := 1; i <= last; i++ {
+		if ber <= c.bers[i] {
+			f := math.Log10(ber/c.bers[i-1]) / math.Log10(c.bers[i]/c.bers[i-1])
+			return c.accs[i-1] + (c.accs[i]-c.accs[i-1])*f
+		}
+	}
+	return c.accs[last]
+}
+
+// Isotonic projects a measured accuracy sequence onto the non-increasing
+// cone (pool-adjacent-violators): the true BER->accuracy curve is monotone,
+// so this removes Monte-Carlo inversions before interpolation without
+// biasing the level.
+func Isotonic(accs []float64) []float64 {
+	out := make([]float64, len(accs))
+	copy(out, accs)
+	weights := make([]float64, len(accs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	// Pool adjacent violators for a non-increasing fit.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			continue
+		}
+		// Merge backwards while the monotonicity is violated.
+		j := i
+		for j > 0 && out[j] > out[j-1] {
+			merged := (out[j]*weights[j] + out[j-1]*weights[j-1]) / (weights[j] + weights[j-1])
+			w := weights[j] + weights[j-1]
+			out[j-1], weights[j-1] = merged, w
+			copy(out[j:], out[j+1:])
+			copy(weights[j:], weights[j+1:])
+			out = out[:len(out)-1]
+			weights = weights[:len(weights)-1]
+			j--
+		}
+		i = j
+	}
+	// Expand pooled blocks back to full length.
+	full := make([]float64, len(accs))
+	k := 0
+	for b := 0; b < len(out); b++ {
+		n := int(weights[b] + 0.5)
+		for c := 0; c < n && k < len(full); c++ {
+			full[k] = out[b]
+			k++
+		}
+	}
+	for ; k < len(full); k++ { // guard against rounding drift
+		full[k] = full[k-1]
+	}
+	return full
+}
+
+// MinVoltage returns the lowest supply on the grid whose induced BER keeps
+// the curve's accuracy at or above minAcc, and whether any voltage
+// qualifies. Grids should be ascending.
+func (a Accelerator) MinVoltage(curve *AccuracyCurve, minAcc float64, grid []float64) (float64, bool) {
+	for _, v := range grid {
+		if curve.At(a.BER(v)) >= minAcc {
+			return v, true
+		}
+	}
+	return 0, false
+}

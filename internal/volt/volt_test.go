@@ -1,0 +1,211 @@
+package volt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDNNEngineValid(t *testing.T) {
+	if err := DNNEngine.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	bad := DNNEngine
+	bad.VSafe = 0.95
+	if bad.Validate() == nil {
+		t.Error("VSafe > VNom not caught")
+	}
+	bad = DNNEngine
+	bad.Freq = 0
+	if bad.Validate() == nil {
+		t.Error("zero freq not caught")
+	}
+}
+
+func TestBERCurveShape(t *testing.T) {
+	a := DNNEngine
+	if a.BER(0.9) != 0 || a.BER(0.82) != 0 {
+		t.Error("BER above VSafe must be 0")
+	}
+	b81, b79, b77 := a.BER(0.81), a.BER(0.79), a.BER(0.77)
+	if !(b81 < b79 && b79 < b77) {
+		t.Errorf("BER not monotone: %v %v %v", b81, b79, b77)
+	}
+	// Paper Fig. 6 anchors: ~1e-8 at 0.77 V.
+	if b77 < 1e-9 || b77 > 1e-7 {
+		t.Errorf("BER(0.77) = %v, want ~1e-8", b77)
+	}
+	// Clamps below VMin.
+	if a.BER(0.5) != a.BER(a.VMin) {
+		t.Error("BER below VMin must clamp")
+	}
+}
+
+func TestPowerQuadratic(t *testing.T) {
+	a := DNNEngine
+	if p := a.Power(a.VNom); math.Abs(p-(a.PDynNom+a.PLeakNom)) > 1e-12 {
+		t.Errorf("nominal power = %v", p)
+	}
+	// 0.45/0.9 = 1/2 -> dynamic quarter, leakage half.
+	want := a.PDynNom/4 + a.PLeakNom/2
+	if p := a.Power(0.45); math.Abs(p-want) > 1e-12 {
+		t.Errorf("half-voltage power = %v, want %v", p, want)
+	}
+	if a.Power(0.77) >= a.Power(0.9) {
+		t.Error("power must decrease with voltage")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	a := DNNEngine
+	e := a.Energy(667e6, 0.9) // one second of cycles
+	if math.Abs(e-a.Power(0.9)) > 1e-9 {
+		t.Errorf("energy of 1s = %v, want %v", e, a.Power(0.9))
+	}
+	if a.Energy(1000, 0.77) >= a.Energy(1000, 0.9) {
+		t.Error("lower voltage must cost less energy at fixed cycles")
+	}
+}
+
+func TestVoltageGrid(t *testing.T) {
+	g := VoltageGrid(0.77, 0.82, 0.01)
+	if len(g) != 6 || g[0] != 0.77 || g[5] != 0.82 {
+		t.Errorf("grid = %v", g)
+	}
+}
+
+func TestAccuracyCurveInterpolation(t *testing.T) {
+	c := NewAccuracyCurve([]float64{1e-10, 1e-8}, []float64{0.9, 0.3})
+	if got := c.At(0); got != 1 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(1e-10); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("At(anchor) = %v", got)
+	}
+	if got := c.At(1e-8); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("At(last) = %v", got)
+	}
+	if got := c.At(1e-6); got != 0.3 {
+		t.Errorf("At(beyond) = %v", got)
+	}
+	mid := c.At(1e-9) // halfway in log space
+	if math.Abs(mid-0.6) > 1e-9 {
+		t.Errorf("At(mid) = %v, want 0.6", mid)
+	}
+	// Monotone in between.
+	prev := 2.0
+	for _, b := range []float64{1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7} {
+		v := c.At(b)
+		if v > prev+1e-9 {
+			t.Errorf("curve not non-increasing at %v: %v > %v", b, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAccuracyCurveValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":      func() { NewAccuracyCurve(nil, nil) },
+		"mismatch":   func() { NewAccuracyCurve([]float64{1e-9}, []float64{1, 2}) },
+		"descending": func() { NewAccuracyCurve([]float64{1e-8, 1e-9}, []float64{1, 1}) },
+		"nonpos":     func() { NewAccuracyCurve([]float64{0, 1e-9}, []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMinVoltage(t *testing.T) {
+	a := DNNEngine
+	// A curve that tolerates up to 1e-9 at 95% accuracy.
+	c := NewAccuracyCurve([]float64{1e-12, 1e-9, 1e-7}, []float64{1, 0.96, 0.2})
+	grid := VoltageGrid(a.VMin, a.VNom, 0.005)
+	v, ok := a.MinVoltage(c, 0.95, grid)
+	if !ok {
+		t.Fatal("no voltage found")
+	}
+	if v >= a.VSafe {
+		t.Errorf("min voltage %v did not exploit fault tolerance (VSafe %v)", v, a.VSafe)
+	}
+	if c.At(a.BER(v)) < 0.95 {
+		t.Errorf("accuracy constraint violated at %v", v)
+	}
+	// A stricter curve needs a higher voltage.
+	strict := NewAccuracyCurve([]float64{1e-12, 1e-10}, []float64{0.96, 0.5})
+	v2, ok2 := a.MinVoltage(strict, 0.95, grid)
+	if !ok2 || v2 < v {
+		t.Errorf("stricter curve voltage %v not above %v", v2, v)
+	}
+	// Impossible constraint.
+	never := NewAccuracyCurve([]float64{1e-12}, []float64{0.5})
+	if _, ok := a.MinVoltage(never, 0.95, VoltageGrid(a.VMin, a.VSafe-0.001, 0.005)); ok {
+		t.Error("impossible constraint satisfied")
+	}
+}
+
+// TestMoreTolerantCurveSavesEnergy is the paper's energy argument in one
+// property: a network tolerating 10x higher BER at the accuracy bound gets a
+// lower minimum voltage and therefore lower energy at fixed cycles.
+func TestMoreTolerantCurveSavesEnergy(t *testing.T) {
+	a := DNNEngine
+	grid := VoltageGrid(a.VMin, a.VNom, 0.002)
+	weak := NewAccuracyCurve([]float64{1e-11, 1e-9}, []float64{0.99, 0.5})
+	strong := NewAccuracyCurve([]float64{1e-10, 1e-8}, []float64{0.99, 0.5})
+	vw, _ := a.MinVoltage(weak, 0.97, grid)
+	vs, _ := a.MinVoltage(strong, 0.97, grid)
+	if !(vs < vw) {
+		t.Fatalf("tolerant curve voltage %v not below %v", vs, vw)
+	}
+	if a.Energy(1e9, vs) >= a.Energy(1e9, vw) {
+		t.Error("tolerant curve did not save energy")
+	}
+}
+
+func TestIsotonic(t *testing.T) {
+	cases := []struct {
+		in, want []float64
+	}{
+		{[]float64{1, 0.9, 0.8}, []float64{1, 0.9, 0.8}},           // already monotone
+		{[]float64{0.8, 0.9}, []float64{0.85, 0.85}},               // single violation pools
+		{[]float64{1, 0.5, 0.7, 0.2}, []float64{1, 0.6, 0.6, 0.2}}, // interior pool
+		{[]float64{0.2, 0.4, 0.6}, []float64{0.4, 0.4, 0.4}},       // all-increasing pools to mean
+		{[]float64{0.9}, []float64{0.9}},                           // singleton
+	}
+	for _, c := range cases {
+		got := Isotonic(c.in)
+		if len(got) != len(c.in) {
+			t.Fatalf("Isotonic(%v) length %d", c.in, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-9 {
+				t.Errorf("Isotonic(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIsotonicProperties(t *testing.T) {
+	// Non-increasing output and mean preservation, for arbitrary inputs.
+	in := []float64{0.3, 0.9, 0.1, 0.8, 0.8, 0.05, 0.5}
+	out := Isotonic(in)
+	var sumIn, sumOut float64
+	for i := range in {
+		sumIn += in[i]
+		sumOut += out[i]
+		if i > 0 && out[i] > out[i-1]+1e-12 {
+			t.Fatalf("output not monotone at %d: %v", i, out)
+		}
+	}
+	if math.Abs(sumIn-sumOut) > 1e-9 {
+		t.Errorf("mean not preserved: %v vs %v", sumIn, sumOut)
+	}
+}

@@ -1,0 +1,237 @@
+package winograd
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/tensor"
+)
+
+// Params is one quantized stride-1 RxR winograd convolution (the DWM layer
+// composes several of these for other kernel shapes). It produces
+// accumulator-domain (int64) outputs at fixed-point scale
+// 2^-(inFrac + wFrac + FracExtra); the caller requantizes.
+//
+// Operation ordering contract (census <-> fault replay), nt = n·tiles+tile:
+//
+//	mul index = ((nt·OC + oc)·C + c)·T² + pos
+//	add index, four consecutive segments:
+//	  IT:   (nt·C + c)·itAdds + s                     input transform
+//	  CA:   itTotal  + ((nt·OC+oc)·(C-1) + (c-1))·T² + pos   channel accumulation
+//	  OT:   +caTotal + (nt·OC + oc)·otAdds + s        output transform
+//
+// Bias is deliberately absent here: the composing layer owns it.
+type Params struct {
+	Tile  *Tile
+	OutC  int
+	InC   int
+	U     []int32 // transformed weights, [oc][c][T*T], frac = WFrac+FracExtra
+	WFrac int     // fractional bits of the original weight format
+	WBits int     // width of the weight/activation operand registers
+}
+
+// NewParams transforms and quantizes the weights (shape {outC, inC, R, R})
+// for the given tile. The transform runs offline in float64 and is quantized
+// with FracExtra guard bits, so runtime arithmetic is pure integer.
+func NewParams(w *tensor.Tensor, t *Tile, wFmt fixed.Format) *Params {
+	if w.Shape.H != t.R || w.Shape.W != t.R {
+		panic(fmt.Sprintf("winograd: weight %dx%d does not match %s", w.Shape.H, w.Shape.W, t.Name))
+	}
+	T := t.T()
+	outC, inC := w.Shape.N, w.Shape.C
+	p := &Params{
+		Tile:  t,
+		OutC:  outC,
+		InC:   inC,
+		U:     make([]int32, outC*inC*T*T),
+		WFrac: wFmt.Frac,
+		WBits: wFmt.Width,
+	}
+	scale := float64(int64(1) << uint(wFmt.Frac+t.FracExtra))
+	g := make([]float64, t.R*t.R)
+	for o := 0; o < outC; o++ {
+		for c := 0; c < inC; c++ {
+			for ky := 0; ky < t.R; ky++ {
+				for kx := 0; kx < t.R; kx++ {
+					g[ky*t.R+kx] = w.At(o, c, ky, kx)
+				}
+			}
+			u := TransformFilter(t, g)
+			base := (o*inC + c) * T * T
+			for i, v := range u {
+				s := v * scale
+				if s >= 0 {
+					p.U[base+i] = int32(s + 0.5)
+				} else {
+					p.U[base+i] = int32(s - 0.5)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// AccFracExtra returns the extra fractional bits of the accumulator domain
+// relative to a direct convolution with the same formats.
+func (p *Params) AccFracExtra() int { return p.Tile.FracExtra }
+
+// OutShape returns the stride-1 output shape for an input already including
+// any padding the caller wants (Params itself applies no padding).
+func (p *Params) OutShape(in tensor.Shape) tensor.Shape {
+	return tensor.Shape{N: in.N, C: p.OutC, H: in.H - p.Tile.R + 1, W: in.W - p.Tile.R + 1}
+}
+
+// tileGrid returns the tile counts covering an output extent.
+func (p *Params) tileGrid(out tensor.Shape) (tilesY, tilesX int) {
+	m := p.Tile.M
+	return (out.H + m - 1) / m, (out.W + m - 1) / m
+}
+
+// Census returns the exact op counts of one forward pass over the given
+// (unpadded-by-us) input shape.
+func (p *Params) Census(in tensor.Shape) fault.Census {
+	return coreCensus(p.Tile, in, p.OutC)
+}
+
+// coreCensus computes a stride-1 RxR winograd core's op census from geometry
+// alone (in must already include padding; in.C is the input channel count).
+func coreCensus(t *Tile, in tensor.Shape, outC int) fault.Census {
+	oh, ow := in.H-t.R+1, in.W-t.R+1
+	m := t.M
+	tilesY, tilesX := (oh+m-1)/m, (ow+m-1)/m
+	nt := int64(in.N) * int64(tilesY) * int64(tilesX)
+	t2 := int64(t.MulsPerTileChannel())
+	muls := nt * int64(outC) * int64(in.C) * t2
+	it := nt * int64(in.C) * int64(t.InputAdds())
+	ca := nt * int64(outC) * int64(in.C-1) * t2
+	ot := nt * int64(outC) * int64(t.OutputAdds())
+	return fault.Census{Mul: muls, Add: it + ca + ot}
+}
+
+// segments returns the per-(nt) spans used to route add events.
+func (p *Params) segments() (itPer, caPer, otPer int64) {
+	t2 := int64(p.Tile.MulsPerTileChannel())
+	itPer = int64(p.InC) * int64(p.Tile.InputAdds())
+	caPer = int64(p.OutC) * int64(p.InC-1) * t2
+	otPer = int64(p.OutC) * int64(p.Tile.OutputAdds())
+	return
+}
+
+// tileOfEvent maps an event to its global tile index nt.
+func (p *Params) tileOfEvent(ev fault.Event, ntTotal int64) int64 {
+	t2 := int64(p.Tile.MulsPerTileChannel())
+	if ev.Class == fault.OpMul {
+		return ev.Op / (int64(p.OutC) * int64(p.InC) * t2)
+	}
+	itPer, caPer, otPer := p.segments()
+	itTotal := ntTotal * itPer
+	caTotal := ntTotal * caPer
+	switch {
+	case ev.Op < itTotal:
+		return ev.Op / itPer
+	case ev.Op < itTotal+caTotal:
+		return (ev.Op - itTotal) / caPer
+	default:
+		return (ev.Op - itTotal - caTotal) / otPer
+	}
+}
+
+// ForwardAcc computes the layer into an accumulator-domain buffer indexed by
+// out.Shape.Index, applying any fault events bit-exactly. The input must be
+// pre-padded by the caller.
+func (p *Params) ForwardAcc(in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
+	if in.Shape.C != p.InC {
+		panic(fmt.Sprintf("winograd: input channels %d != %d", in.Shape.C, p.InC))
+	}
+	outShape := p.OutShape(in.Shape)
+	if outShape.H <= 0 || outShape.W <= 0 {
+		panic(fmt.Sprintf("winograd: input %v too small for %s", in.Shape, p.Tile.Name))
+	}
+	tilesY, tilesX := p.tileGrid(outShape)
+	ntTotal := int64(in.Shape.N) * int64(tilesY) * int64(tilesX)
+
+	// Extend the input so every tile reads a full TxT window.
+	t, m, T := p.Tile, p.Tile.M, p.Tile.T()
+	needH := (tilesY-1)*m + T
+	needW := (tilesX-1)*m + T
+	ext := in
+	if needH > in.Shape.H || needW > in.Shape.W {
+		ext = tensor.NewQ(tensor.Shape{N: in.Shape.N, C: in.Shape.C, H: needH, W: needW}, in.Fmt)
+		for n := 0; n < in.Shape.N; n++ {
+			for c := 0; c < in.Shape.C; c++ {
+				for y := 0; y < in.Shape.H; y++ {
+					src := in.Shape.Index(n, c, y, 0)
+					dst := ext.Shape.Index(n, c, y, 0)
+					copy(ext.Data[dst:dst+in.Shape.W], in.Data[src:src+in.Shape.W])
+				}
+			}
+		}
+	}
+
+	byTile := map[int64][]fault.Event{}
+	for _, ev := range events {
+		nt := p.tileOfEvent(ev, ntTotal)
+		byTile[nt] = append(byTile[nt], ev)
+	}
+
+	acc := make([]int64, outShape.Elems())
+	t2 := T * T
+	d := make([]int64, t2)
+	v := make([]int64, p.InC*t2)
+	scratch := make([]int64, t2)
+	msum := make([]int64, t2)
+	y := make([]int64, m*m)
+
+	for n := 0; n < in.Shape.N; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				nt := (int64(n)*int64(tilesY)+int64(ty))*int64(tilesX) + int64(tx)
+				if evs, ok := byTile[nt]; ok {
+					p.replayTile(ext, acc, outShape, n, ty, tx, nt, ntTotal, evs)
+					continue
+				}
+				// Fast path: input transform per channel.
+				for c := 0; c < p.InC; c++ {
+					for i := 0; i < T; i++ {
+						base := ext.Shape.Index(n, c, ty*m+i, tx*m)
+						for j := 0; j < T; j++ {
+							d[i*T+j] = int64(ext.Data[base+j])
+						}
+					}
+					matTransform(t.BT, T, T, d, v[c*t2:(c+1)*t2], scratch)
+				}
+				// Hadamard + channel accumulation + output transform.
+				for o := 0; o < p.OutC; o++ {
+					uBase := o * p.InC * t2
+					for i := 0; i < t2; i++ {
+						msum[i] = int64(p.U[uBase+i]) * v[i]
+					}
+					for c := 1; c < p.InC; c++ {
+						ub := uBase + c*t2
+						vb := c * t2
+						for i := 0; i < t2; i++ {
+							msum[i] += int64(p.U[ub+i]) * v[vb+i]
+						}
+					}
+					matTransform(t.AT, m, T, msum, y, scratch)
+					for i := 0; i < m; i++ {
+						oy := ty*m + i
+						if oy >= outShape.H {
+							continue
+						}
+						rowBase := outShape.Index(n, o, oy, 0)
+						for j := 0; j < m; j++ {
+							ox := tx*m + j
+							if ox >= outShape.W {
+								continue
+							}
+							acc[rowBase+ox] = y[i*m+j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return acc, outShape
+}

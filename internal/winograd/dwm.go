@@ -1,0 +1,324 @@
+package winograd
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/tensor"
+)
+
+// Layer is a complete winograd convolution layer. For the canonical 3x3
+// stride-1 case it wraps a single Params; for larger kernels or strides it
+// applies the decomposable winograd method (DWM): the kernel is split by
+// stride residue class and into 3x3 blocks, every block becomes a stride-1
+// 3x3 winograd convolution over a gathered (subsampled + shifted) view of the
+// input, and the partial results are summed in the accumulator domain before
+// a single requantization — so the decomposition is lossless, matching the
+// paper's claim that winograd processing incurs no accuracy penalty even for
+// large kernels and strides.
+//
+// Event routing: per op class, unit censuses are concatenated in unit order;
+// additions gain a final summation segment ordered (output element, step)
+// with units-1 partial-sum adds followed by one bias add when present.
+type Layer struct {
+	Tile   *Tile
+	Stride int
+	Pad    int
+	KH, KW int
+	InC    int
+	OutC   int
+	BiasF  []float64
+	OutFmt fixed.Format
+	WFrac  int
+
+	units []unit
+}
+
+type unit struct {
+	p      *Params
+	ry, rx int // stride residue of this sub-grid
+	sy, sx int // block shift inside the sub-grid, in sub-grid pixels
+}
+
+// unitGeom is the weight-free description of one DWM sub-convolution.
+type unitGeom struct {
+	ry, rx, by, bx int
+}
+
+// unitGeoms enumerates the DWM decomposition of a (kh x kw, stride) kernel
+// into r x r stride-1 blocks: one entry per (stride residue, block) pair.
+func unitGeoms(kh, kw, stride, r int) []unitGeom {
+	var out []unitGeom
+	for ry := 0; ry < stride; ry++ {
+		subKH := (kh - ry + stride - 1) / stride
+		if subKH <= 0 {
+			continue
+		}
+		for rx := 0; rx < stride; rx++ {
+			subKW := (kw - rx + stride - 1) / stride
+			if subKW <= 0 {
+				continue
+			}
+			for by := 0; by < (subKH+r-1)/r; by++ {
+				for bx := 0; bx < (subKW+r-1)/r; bx++ {
+					out = append(out, unitGeom{ry: ry, rx: rx, by: by, bx: bx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CensusFor computes a full winograd layer's op census (DWM units plus the
+// summation segment) from geometry alone, without materializing weights.
+func CensusFor(in tensor.Shape, outC, kh, kw, stride, pad int, bias bool, t *Tile) fault.Census {
+	oh := (in.H+2*pad-kh)/stride + 1
+	ow := (in.W+2*pad-kw)/stride + 1
+	uin := tensor.Shape{N: in.N, C: in.C, H: oh + t.R - 1, W: ow + t.R - 1}
+	units := unitGeoms(kh, kw, stride, t.R)
+	var c fault.Census
+	for range units {
+		c = c.AddCensus(coreCensus(t, uin, outC))
+	}
+	perOut := int64(len(units) - 1)
+	if bias {
+		perOut++
+	}
+	c.Add += int64(in.N) * int64(outC) * int64(oh) * int64(ow) * perOut
+	return c
+}
+
+// NewLayer builds a winograd layer for an arbitrary odd or even square (or
+// rectangular) kernel with any stride >= 1.
+func NewLayer(w *tensor.Tensor, bias []float64, stride, pad int, t *Tile, wFmt, outFmt fixed.Format) *Layer {
+	if stride < 1 {
+		panic("winograd: stride must be >= 1")
+	}
+	if pad < 0 {
+		panic("winograd: negative padding")
+	}
+	outC, inC := w.Shape.N, w.Shape.C
+	if bias != nil && len(bias) != outC {
+		panic(fmt.Sprintf("winograd: bias length %d != out channels %d", len(bias), outC))
+	}
+	l := &Layer{
+		Tile:   t,
+		Stride: stride,
+		Pad:    pad,
+		KH:     w.Shape.H,
+		KW:     w.Shape.W,
+		InC:    inC,
+		OutC:   outC,
+		BiasF:  bias,
+		OutFmt: outFmt,
+		WFrac:  wFmt.Frac,
+	}
+	r := t.R
+	for _, ug := range unitGeoms(l.KH, l.KW, stride, r) {
+		sub := tensor.New(tensor.Shape{N: outC, C: inC, H: r, W: r})
+		for o := 0; o < outC; o++ {
+			for c := 0; c < inC; c++ {
+				for u := 0; u < r; u++ {
+					ky := stride*(ug.by*r+u) + ug.ry
+					if ky >= l.KH {
+						continue
+					}
+					for vv := 0; vv < r; vv++ {
+						kx := stride*(ug.bx*r+vv) + ug.rx
+						if kx >= l.KW {
+							continue
+						}
+						sub.Set(o, c, u, vv, w.At(o, c, ky, kx))
+					}
+				}
+			}
+		}
+		l.units = append(l.units, unit{
+			p:  NewParams(sub, t, wFmt),
+			ry: ug.ry, rx: ug.rx,
+			sy: ug.by * r, sx: ug.bx * r,
+		})
+	}
+	return l
+}
+
+// OutShape returns the layer's output shape.
+func (l *Layer) OutShape(in tensor.Shape) tensor.Shape {
+	oh := (in.H+2*l.Pad-l.KH)/l.Stride + 1
+	ow := (in.W+2*l.Pad-l.KW)/l.Stride + 1
+	return tensor.Shape{N: in.N, C: l.OutC, H: oh, W: ow}
+}
+
+// unitInShape is the gathered input extent each unit convolves over.
+func (l *Layer) unitInShape(in tensor.Shape) tensor.Shape {
+	out := l.OutShape(in)
+	return tensor.Shape{N: in.N, C: in.C, H: out.H + l.Tile.R - 1, W: out.W + l.Tile.R - 1}
+}
+
+// Census returns exact op counts: all unit censuses plus the accumulator
+// summation segment.
+func (l *Layer) Census(in tensor.Shape) fault.Census {
+	uin := l.unitInShape(in)
+	var c fault.Census
+	for _, u := range l.units {
+		c = c.AddCensus(u.p.Census(uin))
+	}
+	out := l.OutShape(in)
+	perOut := int64(len(l.units) - 1)
+	if l.BiasF != nil {
+		perOut++
+	}
+	c.Add += int64(out.Elems()) * perOut
+	return c
+}
+
+// sumAddsPerOut returns the summation-segment adds per output element.
+func (l *Layer) sumAddsPerOut() int64 {
+	n := int64(len(l.units) - 1)
+	if l.BiasF != nil {
+		n++
+	}
+	return n
+}
+
+// gather materializes the unit's input view: subsample by stride at residue
+// (ry,rx), shift by (sy,sx) sub-grid pixels, with virtual zero padding.
+func (l *Layer) gather(in *tensor.QTensor, u unit, uin tensor.Shape) *tensor.QTensor {
+	g := tensor.NewQ(uin, in.Fmt)
+	for n := 0; n < uin.N; n++ {
+		for c := 0; c < uin.C; c++ {
+			for i := 0; i < uin.H; i++ {
+				yIn := l.Stride*(i+u.sy) + u.ry - l.Pad
+				if yIn < 0 || yIn >= in.Shape.H {
+					continue
+				}
+				dst := uin.Index(n, c, i, 0)
+				for j := 0; j < uin.W; j++ {
+					xIn := l.Stride*(j+u.sx) + u.rx - l.Pad
+					if xIn < 0 || xIn >= in.Shape.W {
+						continue
+					}
+					g.Data[dst+j] = in.At(n, c, yIn, xIn)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Forward computes the fault-free layer.
+func (l *Layer) Forward(in *tensor.QTensor) *tensor.QTensor {
+	return l.ForwardFaulty(in, nil)
+}
+
+// ForwardFaulty computes the layer with fault events applied bit-exactly.
+func (l *Layer) ForwardFaulty(in *tensor.QTensor, events []fault.Event) *tensor.QTensor {
+	if in.Shape.C != l.InC {
+		panic(fmt.Sprintf("winograd: input channels %d != %d", in.Shape.C, l.InC))
+	}
+	uin := l.unitInShape(in.Shape)
+	outShape := l.OutShape(in.Shape)
+
+	// Route events to units / summation segment.
+	unitEvents := make([][]fault.Event, len(l.units))
+	var sumEvents map[int64][]fault.Event
+	if len(events) > 0 {
+		var mulSpans, addSpans []int64
+		for _, u := range l.units {
+			c := u.p.Census(uin)
+			mulSpans = append(mulSpans, c.Mul)
+			addSpans = append(addSpans, c.Add)
+		}
+		sumEvents = map[int64][]fault.Event{}
+		for _, ev := range events {
+			spans := addSpans
+			if ev.Class == fault.OpMul {
+				spans = mulSpans
+			}
+			op := ev.Op
+			routed := false
+			for i, span := range spans {
+				if op < span {
+					rebased := ev
+					rebased.Op = op
+					unitEvents[i] = append(unitEvents[i], rebased)
+					routed = true
+					break
+				}
+				op -= span
+			}
+			if !routed {
+				if ev.Class != fault.OpAdd {
+					panic(fmt.Sprintf("winograd: mul event index %d beyond census", ev.Op))
+				}
+				rebased := ev
+				rebased.Op = op
+				sumEvents[op/l.sumAddsPerOut()] = append(sumEvents[op/l.sumAddsPerOut()], rebased)
+			}
+		}
+	}
+
+	// Run units and sum in the accumulator domain.
+	acc := make([]int64, outShape.Elems())
+	shift := in.Fmt.Frac + l.WFrac + l.Tile.FracExtra - l.OutFmt.Frac
+	biasScale := float64(int64(1) << uint(in.Fmt.Frac+l.WFrac+l.Tile.FracExtra))
+	perOut := l.sumAddsPerOut()
+
+	for ui, u := range l.units {
+		g := l.gather(in, u, uin)
+		ua, us := u.p.ForwardAcc(g, unitEvents[ui])
+		if us != outShape {
+			panic(fmt.Sprintf("winograd: unit output %v != layer output %v", us, outShape))
+		}
+		if ui == 0 {
+			copy(acc, ua)
+			continue
+		}
+		step := int64(ui - 1)
+		for i := range acc {
+			evs := sumEvents[int64(i)]
+			acc[i] = applyAdd(acc[i], ua[i], filterStep(evs, int64(i)*perOut+step))
+		}
+	}
+	if l.BiasF != nil {
+		step := int64(len(l.units) - 1)
+		outs := outShape.H * outShape.W
+		for i := range acc {
+			oc := (i / outs) % outShape.C
+			b := l.BiasF[oc] * biasScale
+			var bi int64
+			if b >= 0 {
+				bi = int64(b + 0.5)
+			} else {
+				bi = int64(b - 0.5)
+			}
+			evs := sumEvents[int64(i)]
+			acc[i] = applyAdd(acc[i], bi, filterStep(evs, int64(i)*perOut+step))
+		}
+	}
+
+	out := tensor.NewQ(outShape, l.OutFmt)
+	for i, a := range acc {
+		out.Data[i] = l.OutFmt.RequantizeShift(a, shift)
+	}
+	return out
+}
+
+// filterStep selects the events whose absolute summation index equals step.
+func filterStep(evs []fault.Event, step int64) []fault.Event {
+	if len(evs) == 0 {
+		return nil
+	}
+	var out []fault.Event
+	for _, ev := range evs {
+		if ev.Op == step {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Units reports how many 3x3 winograd sub-convolutions the DWM decomposition
+// produced (1 for the native 3x3 stride-1 case).
+func (l *Layer) Units() int { return len(l.units) }

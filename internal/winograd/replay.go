@@ -1,0 +1,194 @@
+package winograd
+
+import (
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/tensor"
+)
+
+// Replay shares the result-flip marker with the conv package: events sampled
+// under ResultFlip semantics carry the top bit of Operand set (see
+// conv.MarkResultFlip; campaigns mark events once, engines only read it).
+const resultFlipMark = 0x80
+
+func isResultFlip(ev fault.Event) bool { return ev.Operand&resultFlipMark != 0 }
+
+// applyAdd performs one census-counted addition acc+term with any fault
+// events for this step applied: operand flips before the add, result flips
+// after, all in the W-bit datapath register model (see fault.SurfaceBits).
+func applyAdd(acc, term int64, evs []fault.Event) int64 {
+	for _, ev := range evs {
+		if isResultFlip(ev) {
+			continue
+		}
+		if ev.Operand == 0 {
+			acc = fixed.FlipBit(acc, uint(ev.Bit))
+		} else {
+			term = fixed.FlipBit(term, uint(ev.Bit))
+		}
+	}
+	acc += term
+	for _, ev := range evs {
+		if isResultFlip(ev) {
+			acc = fixed.FlipBit(acc, uint(ev.Bit))
+		}
+	}
+	return acc
+}
+
+// matTransformReplay is the scalar twin of matTransform that walks the adds
+// in census order, consuming steps from evs (keyed by absolute add index).
+// step is the absolute index of the next add; the final value is returned.
+func matTransformReplay(mat [][]int64, rows, t int, in, out []int64, evs map[int64][]fault.Event, step int64) int64 {
+	scratch := make([]int64, rows*t)
+	for r := 0; r < rows; r++ {
+		row := mat[r]
+		for col := 0; col < t; col++ {
+			var acc int64
+			first := true
+			for k := 0; k < t; k++ {
+				c := row[k]
+				if c == 0 {
+					continue
+				}
+				term := c * in[k*t+col]
+				if first {
+					acc = term
+					first = false
+					continue
+				}
+				acc = applyAdd(acc, term, evs[step])
+				step++
+			}
+			scratch[r*t+col] = acc
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c2 := 0; c2 < rows; c2++ {
+			row := mat[c2]
+			var acc int64
+			first := true
+			for k := 0; k < t; k++ {
+				c := row[k]
+				if c == 0 {
+					continue
+				}
+				term := c * scratch[r*t+k]
+				if first {
+					acc = term
+					first = false
+					continue
+				}
+				acc = applyAdd(acc, term, evs[step])
+				step++
+			}
+			out[r*rows+c2] = acc
+		}
+	}
+	return step
+}
+
+// replayTile recomputes one tile in census op order with its fault events
+// applied, writing accumulator-domain outputs.
+func (p *Params) replayTile(ext *tensor.QTensor, acc []int64, outShape tensor.Shape, n, ty, tx int, nt, ntTotal int64, evs []fault.Event) {
+	t, m, T := p.Tile, p.Tile.M, p.Tile.T()
+	t2 := T * T
+	itPer, caPer, otPer := p.segments()
+	itTotal := ntTotal * itPer
+	caTotal := ntTotal * caPer
+	mulPerTile := int64(p.OutC) * int64(p.InC) * int64(t2)
+
+	// Partition events into per-segment maps keyed by tile-local index.
+	mulEvs := map[int64][]fault.Event{}
+	itEvs := map[int64][]fault.Event{}
+	caEvs := map[int64][]fault.Event{}
+	otEvs := map[int64][]fault.Event{}
+	for _, ev := range evs {
+		if ev.Class == fault.OpMul {
+			mulEvs[ev.Op-nt*mulPerTile] = append(mulEvs[ev.Op-nt*mulPerTile], ev)
+			continue
+		}
+		switch {
+		case ev.Op < itTotal:
+			local := ev.Op - nt*itPer
+			itEvs[local] = append(itEvs[local], ev)
+		case ev.Op < itTotal+caTotal:
+			local := ev.Op - itTotal - nt*caPer
+			caEvs[local] = append(caEvs[local], ev)
+		default:
+			local := ev.Op - itTotal - caTotal - nt*otPer
+			otEvs[local] = append(otEvs[local], ev)
+		}
+	}
+
+	// Input transform with IT faults, channel-major census order.
+	d := make([]int64, t2)
+	v := make([]int64, p.InC*t2)
+	for c := 0; c < p.InC; c++ {
+		for i := 0; i < T; i++ {
+			base := ext.Shape.Index(n, c, ty*m+i, tx*m)
+			for j := 0; j < T; j++ {
+				d[i*T+j] = int64(ext.Data[base+j])
+			}
+		}
+		matTransformReplay(t.BT, T, T, d, v[c*t2:(c+1)*t2], itEvs, int64(c)*int64(t.InputAdds()))
+	}
+
+	msum := make([]int64, t2)
+	y := make([]int64, m*m)
+	for o := 0; o < p.OutC; o++ {
+		uBase := o * p.InC * t2
+		mulBase := int64(o) * int64(p.InC) * int64(t2)
+		caBase := int64(o) * int64(p.InC-1) * int64(t2)
+		for i := 0; i < t2; i++ {
+			msum[i] = p.hadamard(uBase, 0, i, t2, v, mulEvs[mulBase+int64(i)])
+		}
+		for c := 1; c < p.InC; c++ {
+			for i := 0; i < t2; i++ {
+				prod := p.hadamard(uBase, c, i, t2, v, mulEvs[mulBase+int64(c*t2+i)])
+				msum[i] = applyAdd(msum[i], prod, caEvs[caBase+int64((c-1)*t2+i)])
+			}
+		}
+		matTransformReplay(t.AT, m, T, msum, y, otEvs, int64(o)*int64(t.OutputAdds()))
+		for i := 0; i < m; i++ {
+			oy := ty*m + i
+			if oy >= outShape.H {
+				continue
+			}
+			rowBase := outShape.Index(n, o, oy, 0)
+			for j := 0; j < m; j++ {
+				ox := tx*m + j
+				if ox >= outShape.W {
+					continue
+				}
+				acc[rowBase+ox] = y[i*m+j]
+			}
+		}
+	}
+}
+
+// hadamard computes one transform-domain product U[oc,c,pos] * V[c,pos] with
+// any fault events applied: operand 0 is the transformed activation, operand
+// 1 the transformed weight, both modelled as WBits-wide registers; result
+// flips hit the 2·WBits product register.
+func (p *Params) hadamard(uBase, c, pos, t2 int, v []int64, evs []fault.Event) int64 {
+	a := v[c*t2+pos]
+	b := int64(p.U[uBase+c*t2+pos])
+	for _, ev := range evs {
+		if isResultFlip(ev) {
+			continue
+		}
+		if ev.Operand == 0 {
+			a = fixed.FlipBit(a, uint(ev.Bit))
+		} else {
+			b = fixed.FlipBit(b, uint(ev.Bit))
+		}
+	}
+	prod := a * b
+	for _, ev := range evs {
+		if isResultFlip(ev) {
+			prod = fixed.FlipBit(prod, uint(ev.Bit))
+		}
+	}
+	return prod
+}

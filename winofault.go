@@ -1,0 +1,356 @@
+// Package winofault is a Go reproduction of "Winograd Convolution: A
+// Perspective from Fault Tolerance" (Xue et al., DAC 2022): an
+// operation-level soft-error injection platform for quantized CNNs executed
+// with standard or winograd convolution, plus the paper's two applications —
+// fine-grained TMR protection planning and voltage-scaled energy
+// exploration on a DNN-Engine-class accelerator.
+//
+// The package is a thin, stable facade over the internal engine packages;
+// see DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. Typical use:
+//
+//	sys, err := winofault.New(winofault.Config{Model: "vgg19", Engine: winofault.Winograd})
+//	if err != nil { ... }
+//	acc := sys.Accuracy(3e-10) // golden-agreement accuracy under soft errors
+package winofault
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/fixed"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/systolic"
+	"repro/internal/tmr"
+	"repro/internal/volt"
+	"repro/internal/winograd"
+)
+
+// Engine selects the convolution algorithm.
+type Engine int
+
+const (
+	// Direct is standard convolution (ST-Conv).
+	Direct Engine = iota
+	// Winograd is winograd convolution (WG-Conv) with DWM decomposition for
+	// kernels other than 3x3 stride 1.
+	Winograd
+)
+
+// Precision selects the fixed-point quantization width.
+type Precision int
+
+const (
+	// Int16 is 16-bit fixed point (Q8.8), the paper's main configuration.
+	Int16 Precision = iota
+	// Int8 is 8-bit fixed point (Q4.4).
+	Int8
+)
+
+// Semantics selects the fault-injection semantics.
+type Semantics int
+
+const (
+	// ResultFlip flips one bit of the result register of a sampled
+	// operation (the platform default; the paper's stated methodology).
+	ResultFlip Semantics = iota
+	// OperandFlip flips one bit of one operand instead (the paper's
+	// motivating observation, kept for ablation).
+	OperandFlip
+	// NeuronFlip is TensorFI/PyTorchFI-style neuron-level injection, which
+	// cannot distinguish the two engines (paper Fig. 1).
+	NeuronFlip
+)
+
+// Config describes one evaluated system.
+type Config struct {
+	// Model is one of "vgg19", "resnet50", "densenet169", "googlenet".
+	Model string
+	// Engine selects standard or winograd convolution.
+	Engine Engine
+	// Precision selects int8 or int16 quantization (default Int16).
+	Precision Precision
+	// Semantics selects the fault model (default ResultFlip).
+	Semantics Semantics
+	// WidthMult scales channel counts (default 0.125; 1 = paper scale).
+	WidthMult float64
+	// InputSize overrides the input resolution (default 32).
+	InputSize int
+	// Samples is the number of synthetic evaluation images (default 24).
+	Samples int
+	// Rounds is the Monte-Carlo rounds per accuracy estimate (default 2).
+	Rounds int
+	// Seed makes everything reproducible (default 1).
+	Seed uint64
+	// TileF4 switches winograd from F(2x2,3x3) to F(4x4,3x3).
+	TileF4 bool
+}
+
+func (c *Config) normalize() {
+	if c.Model == "" {
+		c.Model = "vgg19"
+	}
+	if c.WidthMult == 0 {
+		c.WidthMult = 0.125
+	}
+	if c.InputSize == 0 {
+		c.InputSize = 32
+	}
+	if c.Samples == 0 {
+		c.Samples = 24
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c Config) format() fixed.Format {
+	if c.Precision == Int8 {
+		return fixed.Int8
+	}
+	return fixed.Int16
+}
+
+func (c Config) kind() nn.EngineKind {
+	if c.Engine == Winograd {
+		return nn.Winograd
+	}
+	return nn.Direct
+}
+
+func (c Config) tile() *winograd.Tile {
+	if c.TileF4 {
+		return winograd.F4
+	}
+	return winograd.F2
+}
+
+func (c Config) semantics() fault.Semantics {
+	switch c.Semantics {
+	case OperandFlip:
+		return fault.OperandFlip
+	case NeuronFlip:
+		return fault.NeuronFlip
+	default:
+		return fault.ResultFlip
+	}
+}
+
+// System is a ready-to-evaluate network + fault-injection campaign.
+type System struct {
+	cfg    Config
+	arch   *models.Arch
+	full   *models.Arch
+	runner *faultsim.Runner
+	opts   faultsim.Options
+	census []fault.Census
+}
+
+// New builds a system: the scaled quantized network with deterministic
+// weights, a synthetic evaluation set, and paper-scale fault intensities.
+func New(cfg Config) (*System, error) {
+	cfg.normalize()
+	scale := models.Options{WidthMult: cfg.WidthMult, InputSize: cfg.InputSize}
+	arch, err := models.ByName(cfg.Model, scale)
+	if err != nil {
+		return nil, err
+	}
+	full, _ := models.ByName(cfg.Model, models.Options{})
+	f := cfg.format()
+	net := models.Build(arch, nn.Config{
+		Kind: cfg.kind(), Tile: cfg.tile(), ActFmt: f, WFmt: f, Seed: cfg.Seed ^ 0xabcdef,
+	})
+	set := dataset.ForModel(arch.Dataset, cfg.Samples, arch.In.H, cfg.Seed^0x5eed, f)
+	runner := faultsim.New(net, set.Batch(0, cfg.Samples))
+	return &System{
+		cfg:    cfg,
+		arch:   arch,
+		full:   full,
+		runner: runner,
+		census: models.Census(arch, cfg.kind(), cfg.tile()),
+		opts: faultsim.Options{
+			Semantics:       cfg.semantics(),
+			Seed:            cfg.Seed,
+			Intensity:       models.IntensityFor(arch, full, cfg.kind(), cfg.tile()),
+			NeuronIntensity: models.NeuronIntensityFor(arch, full),
+		},
+	}, nil
+}
+
+// Point is one (BER, accuracy) measurement.
+type Point struct {
+	BER      float64
+	Accuracy float64 // golden-agreement accuracy in [0,1]
+}
+
+// Accuracy returns golden-agreement accuracy at the given bit error rate.
+func (s *System) Accuracy(ber float64) float64 {
+	return s.runner.Accuracy(ber, s.opts, s.cfg.Rounds)
+}
+
+// Sweep measures accuracy across a BER range.
+func (s *System) Sweep(bers []float64) []Point {
+	pts := s.runner.Sweep(bers, s.opts, s.cfg.Rounds)
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point{BER: p.BER, Accuracy: p.Accuracy}
+	}
+	return out
+}
+
+// LayerSensitivity is the fault sensitivity of one convolution layer.
+type LayerSensitivity struct {
+	Layer string
+	// Accuracy with this layer fault-free while the rest is injected.
+	FaultFreeAccuracy float64
+	// Vulnerability = FaultFreeAccuracy - baseline (paper's vulnerability
+	// factor); larger means more critical.
+	Vulnerability float64
+	// Muls is the layer's full-size multiplication count.
+	Muls int64
+}
+
+// LayerSensitivities runs the paper's Fig. 3 analysis at the given BER,
+// returning the all-faulty baseline accuracy and per-layer results in
+// network order.
+func (s *System) LayerSensitivities(ber float64) (baseline float64, layers []LayerSensitivity) {
+	base, per := s.runner.LayerSensitivity(ber, s.opts, s.cfg.Rounds)
+	for _, li := range s.runner.Net.ConvNodes() {
+		layers = append(layers, LayerSensitivity{
+			Layer:             s.arch.Ops[li].Name,
+			FaultFreeAccuracy: per[li],
+			Vulnerability:     per[li] - base,
+			Muls:              s.opts.Intensity[li].Mul,
+		})
+	}
+	return base, layers
+}
+
+// TMRPlan is a fine-grained protection plan.
+type TMRPlan struct {
+	// Accuracy achieved under the campaign BER.
+	Accuracy float64
+	// OverheadOps is the extra executed operations (2x each protected op).
+	OverheadOps int64
+	// OverheadFraction is OverheadOps relative to the full-TMR overhead.
+	OverheadFraction float64
+	// Layers maps layer name to protected (mul, add) fractions.
+	Layers map[string][2]float64
+}
+
+// OptimizeTMR searches for the cheapest fine-grained TMR plan reaching the
+// target golden-agreement accuracy at the given BER (paper Section 4.1).
+func (s *System) OptimizeTMR(ber, targetAccuracy float64) *TMRPlan {
+	opts := s.opts
+	vf := tmr.Vulnerability(s.runner, ber, opts, s.cfg.Rounds)
+	plan := (&tmr.Optimizer{
+		Runner: s.runner, Opts: opts, BER: ber, Rounds: s.cfg.Rounds, VF: vf, Step: 0.125,
+	}).Optimize(targetAccuracy, 600)
+	out := &TMRPlan{
+		Accuracy:    plan.Accuracy,
+		OverheadOps: plan.Overhead(s.opts.Intensity),
+		Layers:      map[string][2]float64{},
+	}
+	full := 2 * tmr.TotalOps(s.opts.Intensity)
+	if full > 0 {
+		out.OverheadFraction = float64(out.OverheadOps) / float64(full)
+	}
+	for li, p := range plan.Protection {
+		out.Layers[s.arch.Ops[li].Name] = [2]float64{p.MulFrac, p.AddFrac}
+	}
+	return out
+}
+
+// EnergyPoint is one voltage-scaling operating point.
+type EnergyPoint struct {
+	AccuracyLossPct float64
+	Voltage         float64
+	// Energy normalized to direct convolution at nominal voltage.
+	NormalizedEnergy float64
+}
+
+// ExploreEnergy finds, for each accuracy-loss constraint (in percent), the
+// lowest accelerator supply voltage the system tolerates and the resulting
+// energy, normalized to a direct-convolution run at nominal voltage (paper
+// Section 4.2).
+func (s *System) ExploreEnergy(lossesPct []float64) []EnergyPoint {
+	acc := volt.DNNEngine
+	array := systolic.DNNEngine16
+	const batch = 16
+	bers := []float64{1e-12, 1e-11, 1e-10, 3e-10, 1e-9, 3e-9, 1e-8, 1e-7}
+	pts := s.runner.Sweep(bers, s.opts, 3*s.cfg.Rounds)
+	accs := make([]float64, len(pts))
+	for i, p := range pts {
+		accs[i] = p.Accuracy
+	}
+	curve := volt.NewAccuracyCurve(bers, volt.Isotonic(accs))
+
+	cost := array.NetworkCost(s.full, s.cfg.kind(), s.cfg.tile(), batch)
+	baseCost := array.NetworkCost(s.full, nn.Direct, nil, batch)
+	baseline := acc.Energy(baseCost.Cycles, acc.VNom)
+	grid := volt.VoltageGrid(acc.VMin, acc.VNom, 0.002)
+
+	var out []EnergyPoint
+	for _, loss := range lossesPct {
+		v, ok := acc.MinVoltage(curve, 1-loss/100, grid)
+		if !ok {
+			v = acc.VNom
+		}
+		out = append(out, EnergyPoint{
+			AccuracyLossPct:  loss,
+			Voltage:          v,
+			NormalizedEnergy: acc.Energy(cost.Cycles, v) / baseline,
+		})
+	}
+	return out
+}
+
+// OpCounts reports the network's total primitive-operation counts per image
+// (scaled model and full-size architecture).
+func (s *System) OpCounts() (scaledMul, scaledAdd, fullMul, fullAdd int64) {
+	for _, c := range s.census {
+		scaledMul += c.Mul
+		scaledAdd += c.Add
+	}
+	for _, c := range s.opts.Intensity {
+		fullMul += c.Mul
+		fullAdd += c.Add
+	}
+	return
+}
+
+// GoldenPredictions returns the fault-free predictions of the evaluation set.
+func (s *System) GoldenPredictions() []int { return s.runner.Golden() }
+
+// Experiments lists the reproducible paper experiments.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper figure/table (see Experiments for
+// IDs), rendering its series to w. Budget selects the run size: "smoke"
+// (seconds), "quick" (default; seconds to minutes per figure) or "full"
+// (quarter-width models, more samples; minutes).
+func RunExperiment(id, budget string, w io.Writer) error {
+	var cfg experiments.Config
+	switch budget {
+	case "smoke":
+		cfg = experiments.Smoke()
+	case "", "quick":
+		cfg = experiments.Quick()
+	case "full":
+		cfg = experiments.Quick()
+		cfg.Scale = models.Options{WidthMult: 0.25, InputSize: 32}
+		cfg.Samples = 48
+		cfg.Rounds = 3
+	default:
+		return fmt.Errorf("winofault: unknown budget %q (want smoke, quick or full)", budget)
+	}
+	return experiments.Run(id, cfg, w)
+}

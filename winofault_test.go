@@ -1,0 +1,168 @@
+package winofault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testConfig(engine Engine) Config {
+	return Config{
+		Model:     "vgg19",
+		Engine:    engine,
+		WidthMult: 0.125,
+		InputSize: 16,
+		Samples:   8,
+		Rounds:    1,
+		Seed:      3,
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.GoldenPredictions()); got != 24 {
+		t.Errorf("default samples = %d, want 24", got)
+	}
+	if acc := sys.Accuracy(0); acc != 1 {
+		t.Errorf("accuracy at BER 0 = %v", acc)
+	}
+}
+
+func TestNewUnknownModel(t *testing.T) {
+	if _, err := New(Config{Model: "alexnet"}); err == nil {
+		t.Error("unknown model did not error")
+	}
+}
+
+func TestSweepAndOpCounts(t *testing.T) {
+	st, err := New(testConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := New(testConfig(Winograd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, stMul, _ := st.OpCounts()
+	_, _, wgMul, _ := wg.OpCounts()
+	if wgMul >= stMul {
+		t.Errorf("winograd full-size muls %d not below direct %d", wgMul, stMul)
+	}
+	pts := st.Sweep([]float64{0, 1e-8})
+	if len(pts) != 2 || pts[0].Accuracy != 1 {
+		t.Errorf("sweep malformed: %+v", pts)
+	}
+	if pts[1].Accuracy > pts[0].Accuracy {
+		t.Error("accuracy rose with BER")
+	}
+}
+
+func TestLayerSensitivities(t *testing.T) {
+	sys, err := New(testConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, layers := sys.LayerSensitivities(3e-9)
+	if base < 0 || base > 1 {
+		t.Errorf("baseline = %v", base)
+	}
+	if len(layers) == 0 {
+		t.Fatal("no layers")
+	}
+	for _, l := range layers {
+		if l.Layer == "" || l.Muls <= 0 {
+			t.Errorf("malformed layer entry: %+v", l)
+		}
+	}
+}
+
+func TestOptimizeTMR(t *testing.T) {
+	sys, err := New(testConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ber = 3e-9
+	before := sys.Accuracy(ber)
+	plan := sys.OptimizeTMR(ber, before+(1-before)*0.5)
+	if plan.Accuracy < before-0.2 {
+		t.Errorf("plan accuracy %v collapsed below unprotected %v", plan.Accuracy, before)
+	}
+	if plan.OverheadFraction < 0 || plan.OverheadFraction > 1 {
+		t.Errorf("overhead fraction %v out of range", plan.OverheadFraction)
+	}
+}
+
+func TestExploreEnergy(t *testing.T) {
+	sys, err := New(testConfig(Winograd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sys.ExploreEnergy([]float64{1, 10})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Voltage < 0.7 || p.Voltage > 0.9 {
+			t.Errorf("voltage %v out of range", p.Voltage)
+		}
+		if p.NormalizedEnergy <= 0 || p.NormalizedEnergy > 1.01 {
+			t.Errorf("energy %v out of range", p.NormalizedEnergy)
+		}
+	}
+	if pts[1].NormalizedEnergy > pts[0].NormalizedEnergy+1e-9 {
+		t.Error("looser loss budget should not cost more energy")
+	}
+}
+
+func TestRunExperimentBudgets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("tile", "smoke", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ablation-tile") {
+		t.Error("experiment output missing figure id")
+	}
+	if err := RunExperiment("fig1", "nope", &buf); err == nil {
+		t.Error("bad budget did not error")
+	}
+	if err := RunExperiment("nope", "smoke", &buf); err == nil {
+		t.Error("bad id did not error")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 8 {
+		t.Errorf("expected at least 8 experiments, got %v", ids)
+	}
+}
+
+func TestSemanticsSelection(t *testing.T) {
+	for _, sem := range []Semantics{ResultFlip, OperandFlip, NeuronFlip} {
+		cfg := testConfig(Direct)
+		cfg.Semantics = sem
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := sys.Accuracy(1e-9); acc < 0 || acc > 1 {
+			t.Errorf("semantics %v: accuracy %v", sem, acc)
+		}
+	}
+}
+
+func TestPrecisionAndTileSelection(t *testing.T) {
+	cfg := testConfig(Winograd)
+	cfg.Precision = Int8
+	cfg.TileF4 = true
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := sys.Accuracy(0); acc != 1 {
+		t.Errorf("golden accuracy = %v", acc)
+	}
+}
