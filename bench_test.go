@@ -13,7 +13,9 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/faultsim"
 	"repro/internal/fixed"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -96,3 +98,50 @@ func BenchmarkForwardDirect(b *testing.B) { benchForward(b, nn.Direct) }
 
 // BenchmarkForwardWinograd measures one VGG19-tiny inference, winograd engine.
 func BenchmarkForwardWinograd(b *testing.B) { benchForward(b, nn.Winograd) }
+
+// BenchmarkForwardCtxReuse measures the inference with a reused ExecContext,
+// the per-worker configuration of the campaign scheduler (amortizes per-pass
+// shape/census setup across Monte-Carlo rounds).
+func BenchmarkForwardCtxReuse(b *testing.B) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: nn.Direct, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	in := tensor.Quantize(
+		tensor.New(tensor.Shape{N: 1, C: 3, H: arch.In.H, W: arch.In.W}).Random(rng.New(2), 0.5),
+		fixed.Int16)
+	ctx := net.NewExecContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardCtx(ctx, in, nil)
+	}
+}
+
+// Campaign-scheduler benchmarks: one 8-point BER sweep of a winograd
+// VGG19-tiny campaign at different worker counts. Accuracies are
+// bit-identical across all of these; only wall-clock changes. On an N-core
+// host SweepWorkers4 should be at least ~2x faster than SweepWorkers1 for
+// N >= 4 (the 8x2 = 16 independent units keep 4 workers saturated).
+func benchSweepWorkers(b *testing.B, workers int) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: nn.Winograd, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	set := dataset.ForModel(arch.Dataset, 8, arch.In.H, 99, fixed.Int16)
+	runner := faultsim.New(net, set.Batch(0, 8))
+	bers := []float64{1e-11, 3e-11, 1e-10, 3e-10, 1e-9, 3e-9, 1e-8, 1e-7}
+	opts := faultsim.Options{Seed: 1, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Sweep(bers, opts, 2)
+	}
+}
+
+// BenchmarkSweepWorkers1 is the serial baseline of the scheduler benchmark.
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepWorkers4 is the same sweep on four workers.
+func BenchmarkSweepWorkers4(b *testing.B) { benchSweepWorkers(b, 4) }
+
+// BenchmarkSweepWorkersMax is the same sweep at the GOMAXPROCS default.
+func BenchmarkSweepWorkersMax(b *testing.B) { benchSweepWorkers(b, 0) }

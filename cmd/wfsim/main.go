@@ -29,6 +29,7 @@ func main() {
 	samples := flag.Int("samples", 24, "evaluation images")
 	rounds := flag.Int("rounds", 2, "Monte-Carlo rounds")
 	seed := flag.Uint64("seed", 1, "root seed")
+	workers := flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS; results are identical for any value)")
 	layers := flag.Bool("layers", false, "also print per-layer sensitivity at the middle BER")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		Samples:   *samples,
 		Rounds:    *rounds,
 		Seed:      *seed,
+		Workers:   *workers,
 	}
 	switch *engine {
 	case "direct":

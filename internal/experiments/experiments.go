@@ -44,6 +44,9 @@ type Config struct {
 	Semantics fault.Semantics
 	// Tile is the winograd algorithm (F2 default).
 	Tile *winograd.Tile
+	// Workers caps the fault-campaign parallelism (0 = GOMAXPROCS). Figures
+	// are bit-identical for every worker count.
+	Workers int
 }
 
 // Quick is the default experiment budget: eighth-width models at 32x32 with
@@ -170,6 +173,7 @@ func (r *rig) opts(cfg Config) faultsim.Options {
 		Seed:            cfg.Seed ^ uint64(len(r.name))<<32 ^ uint64(r.kind),
 		Intensity:       r.intensity,
 		NeuronIntensity: r.neurons,
+		Workers:         cfg.Workers,
 	}
 }
 

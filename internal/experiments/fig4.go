@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/faultsim"
 	"repro/internal/fixed"
 	"repro/internal/nn"
 )
@@ -54,10 +55,13 @@ func Fig4(cfg Config) []*Figure {
 			addFree.AddFaultFree = true
 			mulFree := r.opts(cfg)
 			mulFree.MulFaultFree = true
-			series[prefix+"-Add"].Y = append(series[prefix+"-Add"].Y,
-				r.runner.Accuracy(c.BER, addFree, cfg.Rounds)*100)
-			series[prefix+"-Mul"].Y = append(series[prefix+"-Mul"].Y,
-				r.runner.Accuracy(c.BER, mulFree, cfg.Rounds)*100)
+			// Both op-class campaigns share one scheduler batch.
+			accs := r.runner.AccuracyBatch([]faultsim.Campaign{
+				{BER: c.BER, Opts: addFree},
+				{BER: c.BER, Opts: mulFree},
+			}, cfg.Rounds)
+			series[prefix+"-Add"].Y = append(series[prefix+"-Add"].Y, accs[0]*100)
+			series[prefix+"-Mul"].Y = append(series[prefix+"-Mul"].Y, accs[1]*100)
 		}
 	}
 	for _, name := range []string{"ST-Add", "ST-Mul", "WG-Add", "WG-Mul"} {

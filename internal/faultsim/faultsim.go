@@ -3,6 +3,11 @@
 // soft-error model, measures golden-agreement accuracy across bit-error-rate
 // sweeps, and supports the layer fault-free masks, operation-type masks and
 // per-layer TMR protection configurations used by the paper's analyses.
+//
+// Campaigns run on a deterministic worker pool (see pool.go and DESIGN.md):
+// Monte-Carlo rounds, BER sweep points and per-layer masks are independent
+// work units whose randomness derives from split rng streams, so every
+// result is bit-identical for any Options.Workers value.
 package faultsim
 
 import (
@@ -38,6 +43,11 @@ type Options struct {
 	AddFaultFree bool
 	// Protection is the per-node fine-grained TMR configuration (Fig. 5).
 	Protection map[int]fault.Protection
+	// Workers caps the campaign scheduler's parallelism. 0 (the default)
+	// means GOMAXPROCS; 1 forces serial execution. Results are bit-identical
+	// for every worker count: each (campaign, round) work unit derives its
+	// own rng.Stream from the seed, independent of scheduling (see pool.go).
+	Workers int
 }
 
 // Runner evaluates one network against one evaluation input set.
@@ -111,50 +121,123 @@ func (in *injector) Neuron(li int, q *tensor.QTensor) {
 	fault.InjectNeuronsIntensity(q, in.model.BER, intensity, in.round.Split(uint64(li)^0x9e37))
 }
 
-// Accuracy measures golden-agreement accuracy at one bit error rate over the
-// given number of Monte-Carlo rounds (each round re-samples all faults over
-// the whole evaluation batch).
-func (r *Runner) Accuracy(ber float64, opts Options, rounds int) float64 {
+// Campaign is one accuracy measurement: a BER paired with campaign options.
+// Batches of campaigns share the scheduler's worker pool, so heterogeneous
+// evaluations (e.g. the TMR optimizer's candidate plans, or the operation-
+// class ablations) saturate all workers instead of running back to back.
+type Campaign struct {
+	BER  float64
+	Opts Options
+}
+
+// roundAgree runs one Monte-Carlo round of campaign c and returns how many
+// evaluation samples agree with the golden predictions. All randomness is
+// derived from (c.Opts.Seed, round) alone, so the result is independent of
+// which worker executes it and in what order.
+func (r *Runner) roundAgree(ctx *nn.ExecContext, c *Campaign, convSet map[int]struct{}, round int) int {
+	inj := &injector{
+		opts:    &c.Opts,
+		model:   fault.Model{BER: c.BER, Semantics: c.Opts.Semantics},
+		round:   rng.New(c.Opts.Seed).Split(uint64(round)),
+		batch:   r.Inputs.Shape.N,
+		fmt:     r.Inputs.Fmt,
+		convSet: convSet,
+	}
+	preds := nn.Argmax(r.Net.ForwardCtx(ctx, r.Inputs, inj))
+	agree := 0
+	for i, p := range preds {
+		if p == r.golden[i] {
+			agree++
+		}
+	}
+	return agree
+}
+
+// AccuracyBatch measures every campaign in cs over the given number of
+// Monte-Carlo rounds (each round re-samples all faults over the whole
+// evaluation batch) and returns the accuracies in campaign order. The
+// (campaign, round) units run on a shared worker pool sized by the largest
+// Workers option in the batch; per-unit agreement counts are written to
+// indexed slots and reduced in index order afterwards, so the returned
+// accuracies are bit-identical for any worker count.
+func (r *Runner) AccuracyBatch(cs []Campaign, rounds int) []float64 {
 	if rounds < 1 {
 		rounds = 1
 	}
-	if opts.Intensity != nil && len(opts.Intensity) != len(r.Net.Nodes) {
-		panic(fmt.Sprintf("faultsim: intensity length %d != %d nodes", len(opts.Intensity), len(r.Net.Nodes)))
+	workers := 1
+	for i := range cs {
+		if cs[i].Opts.Intensity != nil && len(cs[i].Opts.Intensity) != len(r.Net.Nodes) {
+			panic(fmt.Sprintf("faultsim: intensity length %d != %d nodes", len(cs[i].Opts.Intensity), len(r.Net.Nodes)))
+		}
+		// Resolve before taking the max: Workers == 0 means GOMAXPROCS and
+		// must not lose to an explicit small positive count.
+		if w := cs[i].Opts.ResolvedWorkers(); w > workers {
+			workers = w
+		}
 	}
-	if ber <= 0 {
-		return 1
-	}
-	root := rng.New(opts.Seed)
+
 	convSet := map[int]struct{}{}
 	for _, li := range r.Net.ConvNodes() {
 		convSet[li] = struct{}{}
 	}
-	agree, total := 0, 0
-	for round := 0; round < rounds; round++ {
-		inj := &injector{
-			opts:    &opts,
-			model:   fault.Model{BER: ber, Semantics: opts.Semantics},
-			round:   root.Split(uint64(round)),
-			batch:   r.Inputs.Shape.N,
-			fmt:     r.Inputs.Fmt,
-			convSet: convSet,
+
+	// Flatten to (campaign, round) units, skipping BER <= 0 campaigns (their
+	// accuracy is exactly 1 with no faults to sample).
+	type unit struct {
+		c     int
+		round int
+	}
+	var units []unit
+	for i := range cs {
+		if cs[i].BER <= 0 {
+			continue
 		}
-		preds := nn.Argmax(r.Net.Forward(r.Inputs, inj))
-		for i, p := range preds {
-			if p == r.golden[i] {
-				agree++
-			}
-			total++
+		for round := 0; round < rounds; round++ {
+			units = append(units, unit{c: i, round: round})
 		}
 	}
-	return float64(agree) / float64(total)
+
+	agree := make([]int, len(units))
+	r.runUnits(workers, len(units), func(ctx *nn.ExecContext, u int) {
+		agree[u] = r.roundAgree(ctx, &cs[units[u].c], convSet, units[u].round)
+	})
+
+	out := make([]float64, len(cs))
+	for i := range out {
+		out[i] = 1
+	}
+	sums := make([]int, len(cs))
+	for u, un := range units {
+		sums[un.c] += agree[u]
+	}
+	total := rounds * len(r.golden)
+	for i := range cs {
+		if cs[i].BER > 0 {
+			out[i] = float64(sums[i]) / float64(total)
+		}
+	}
+	return out
 }
 
-// Sweep evaluates accuracy across a BER range.
+// Accuracy measures golden-agreement accuracy at one bit error rate over the
+// given number of Monte-Carlo rounds. The rounds run on the campaign
+// scheduler's worker pool (opts.Workers).
+func (r *Runner) Accuracy(ber float64, opts Options, rounds int) float64 {
+	return r.AccuracyBatch([]Campaign{{BER: ber, Opts: opts}}, rounds)[0]
+}
+
+// Sweep evaluates accuracy across a BER range. All (BER point, round) units
+// run on one worker pool; out[i] always corresponds to bers[i] regardless of
+// completion order.
 func (r *Runner) Sweep(bers []float64, opts Options, rounds int) []Point {
+	cs := make([]Campaign, len(bers))
+	for i, ber := range bers {
+		cs[i] = Campaign{BER: ber, Opts: opts}
+	}
+	accs := r.AccuracyBatch(cs, rounds)
 	out := make([]Point, len(bers))
 	for i, ber := range bers {
-		out[i] = Point{BER: ber, Accuracy: r.Accuracy(ber, opts, rounds)}
+		out[i] = Point{BER: ber, Accuracy: accs[i]}
 	}
 	return out
 }
@@ -169,17 +252,25 @@ type Point struct {
 // node alone is fault-free while the rest of the network is injected at the
 // given BER (paper Fig. 3), plus the all-faulty baseline. The difference
 // accuracy(li fault-free) - baseline is the layer's vulnerability factor
-// (paper Section 4.1).
+// (paper Section 4.1). The baseline and all per-layer campaigns are
+// scheduled as one batch, so the whole analysis saturates the worker pool;
+// perLayer is keyed by node index and independent of evaluation order.
 func (r *Runner) LayerSensitivity(ber float64, opts Options, rounds int) (base float64, perLayer map[int]float64) {
-	base = r.Accuracy(ber, opts, rounds)
-	perLayer = make(map[int]float64)
-	for _, li := range r.Net.ConvNodes() {
+	conv := r.Net.ConvNodes()
+	cs := make([]Campaign, 1+len(conv))
+	cs[0] = Campaign{BER: ber, Opts: opts}
+	for i, li := range conv {
 		o := opts
 		o.FaultFree = map[int]bool{li: true}
 		for k, v := range opts.FaultFree {
 			o.FaultFree[k] = v
 		}
-		perLayer[li] = r.Accuracy(ber, o, rounds)
+		cs[1+i] = Campaign{BER: ber, Opts: o}
 	}
-	return base, perLayer
+	accs := r.AccuracyBatch(cs, rounds)
+	perLayer = make(map[int]float64, len(conv))
+	for i, li := range conv {
+		perLayer[li] = accs[1+i]
+	}
+	return accs[0], perLayer
 }

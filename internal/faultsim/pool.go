@@ -1,0 +1,91 @@
+package faultsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nn"
+)
+
+// The campaign scheduler: every accuracy measurement decomposes into
+// independent (campaign, Monte-Carlo round) work units, and each unit derives
+// its fault randomness purely from (campaign seed, round index) via
+// rng.Stream splitting — never from a shared generator — so the set of
+// sampled faults is identical for any worker count and any completion order.
+// Workers only ever write to their own unit's result slot; aggregation
+// happens on the caller's goroutine after all units finish. Determinism is
+// therefore structural, not incidental: results are bit-identical between
+// Workers=1 and Workers=N.
+
+// ResolvedWorkers reports the concrete worker count the scheduler will use
+// for this campaign: Workers, with 0 meaning GOMAXPROCS. Callers use it to
+// decide whether speculative extra campaigns are free (idle workers) or
+// would cost serial wall-clock time.
+func (o *Options) ResolvedWorkers() int { return resolveWorkers(o.Workers) }
+
+// resolveWorkers maps the Workers option to a concrete worker count:
+// 0 (the default) means GOMAXPROCS, anything below 1 is clamped to serial.
+func resolveWorkers(workers int) int {
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// runUnits executes fn(ctx, u) for every unit u in [0, n) across the given
+// number of workers. Each worker owns a private nn.ExecContext over the
+// runner's network, so forward passes reuse per-worker state without
+// sharing any of it. A panic in any unit is captured and re-raised on the
+// calling goroutine once all workers have drained.
+func (r *Runner) runUnits(workers, n int, fn func(ctx *nn.ExecContext, u int)) {
+	if n <= 0 {
+		return
+	}
+	workers = resolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		ctx := r.Net.NewExecContext()
+		for u := 0; u < n; u++ {
+			fn(ctx, u)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicOne sync.Once
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOne.Do(func() { panicked = p })
+					// Drain the queue so sibling workers exit promptly.
+					next.Store(int64(n))
+				}
+			}()
+			ctx := r.Net.NewExecContext()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= n {
+					return
+				}
+				fn(ctx, u)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"repro/internal/fault"
+	"repro/internal/tensor"
+)
+
+// Concurrency model (see DESIGN.md): a Network is immutable after
+// construction — nodes, ops and quantized weights are read-only — so any
+// number of goroutines may run forward passes over the same Network
+// concurrently. All mutable per-pass state (activation storage, resolved
+// input views, cached geometry) lives in an ExecContext; each goroutine must
+// use its own.
+//
+// ExecContext additionally hoists the per-node shape and op-census
+// computation out of the forward loop: censuses depend only on the input
+// batch shape, which is constant across the thousands of Monte-Carlo rounds
+// of a fault campaign, so they are computed once per (context, input shape)
+// instead of once per round.
+
+// ExecContext is the reusable per-goroutine state of forward passes over one
+// Network. The zero value is not usable; obtain one from
+// Network.NewExecContext. An ExecContext must not be shared between
+// goroutines; creating one is cheap relative to a single forward pass, so
+// worker pools simply allocate one per worker.
+type ExecContext struct {
+	net     *Network
+	inShape tensor.Shape // input shape the cached geometry was computed for
+
+	shapes []tensor.Shape // per-node output shapes for inShape
+	census []fault.Census // per-node op censuses for inShape
+	hasOps []bool         // census[i].Total() > 0, hoisted out of the round loop
+	acts   []*tensor.QTensor
+	ins    [][]*tensor.QTensor // per-node resolved input views, refilled per pass
+}
+
+// NewExecContext returns an execution context bound to this network.
+func (n *Network) NewExecContext() *ExecContext {
+	return &ExecContext{net: n}
+}
+
+// prepare (re)computes the cached geometry when the input shape changes.
+func (c *ExecContext) prepare(inShape tensor.Shape) {
+	if c.shapes != nil && inShape == c.inShape {
+		return
+	}
+	n := c.net
+	c.inShape = inShape
+	c.shapes = make([]tensor.Shape, len(n.Nodes))
+	c.census = make([]fault.Census, len(n.Nodes))
+	c.hasOps = make([]bool, len(n.Nodes))
+	c.acts = make([]*tensor.QTensor, len(n.Nodes))
+	c.ins = make([][]*tensor.QTensor, len(n.Nodes))
+	for i := range n.Nodes {
+		ins := n.shapesOf(i, c.shapes, inShape)
+		c.census[i] = n.Nodes[i].Op.Census(ins)
+		c.hasOps[i] = c.census[i].Total() > 0
+		c.shapes[i] = n.Nodes[i].Op.OutShape(ins)
+		c.ins[i] = make([]*tensor.QTensor, len(n.Nodes[i].Inputs))
+	}
+}
+
+// ForwardCtx runs the network on a quantized input batch using ctx for all
+// per-pass mutable state. inj may be nil for a golden run. The returned
+// tensor is the output node's activation (logits); it remains valid until
+// the next ForwardCtx call on the same context.
+func (n *Network) ForwardCtx(ctx *ExecContext, in *tensor.QTensor, inj Injector) *tensor.QTensor {
+	if ctx.net != n {
+		panic("nn: ExecContext bound to a different network")
+	}
+	ctx.prepare(in.Shape)
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		ins := ctx.ins[i]
+		for j, idx := range nd.Inputs {
+			if idx == InputNode {
+				ins[j] = in
+			} else {
+				ins[j] = ctx.acts[idx]
+			}
+		}
+		var events []fault.Event
+		if inj != nil && ctx.hasOps[i] {
+			events = inj.OpEvents(i, ctx.census[i])
+		}
+		ctx.acts[i] = nd.Op.Forward(ins, events)
+		if inj != nil {
+			inj.Neuron(i, ctx.acts[i])
+		}
+	}
+	return ctx.acts[n.Output]
+}

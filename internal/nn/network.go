@@ -106,31 +106,13 @@ func (n *Network) TotalCensus(inShape tensor.Shape) fault.Census {
 
 // Forward runs the network on a quantized input batch. inj may be nil for a
 // golden run. The returned tensor is the output node's activation (logits).
+//
+// Forward is safe for concurrent use: the Network is immutable after
+// construction and every call allocates a fresh execution context. Callers
+// running many passes (Monte-Carlo campaigns) should hold an ExecContext per
+// goroutine and use ForwardCtx to amortize the per-pass setup.
 func (n *Network) Forward(in *tensor.QTensor, inj Injector) *tensor.QTensor {
-	acts := make([]*tensor.QTensor, len(n.Nodes))
-	for i, nd := range n.Nodes {
-		ins := make([]*tensor.QTensor, len(nd.Inputs))
-		shapes := make([]tensor.Shape, len(nd.Inputs))
-		for j, idx := range nd.Inputs {
-			if idx == InputNode {
-				ins[j] = in
-			} else {
-				ins[j] = acts[idx]
-			}
-			shapes[j] = ins[j].Shape
-		}
-		var events []fault.Event
-		if inj != nil {
-			if c := nd.Op.Census(shapes); c.Total() > 0 {
-				events = inj.OpEvents(i, c)
-			}
-		}
-		acts[i] = nd.Op.Forward(ins, events)
-		if inj != nil {
-			inj.Neuron(i, acts[i])
-		}
-	}
-	return acts[n.Output]
+	return n.ForwardCtx(n.NewExecContext(), in, inj)
 }
 
 // Argmax returns the predicted class per batch element of a logits tensor

@@ -133,7 +133,29 @@ func (o *Optimizer) Optimize(target float64, maxIters int) *Plan {
 	confirmOpts.Seed ^= 0xC0FFEE
 
 	plan := &Plan{Protection: prot}
+	// When the pool has enough idle workers to absorb both campaigns'
+	// rounds in one wave, the main and confirmation draws are submitted as
+	// one batch so the confirmation rides along for free; otherwise the
+	// confirmation stays lazy, only evaluated once the main draw reaches
+	// the target (it is discarded below target, so computing it eagerly on
+	// a saturated pool would nearly double the search cost). Both paths
+	// return identical values.
+	rounds := o.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	batchEval := opts.ResolvedWorkers() >= 2*rounds
 	measure := func() float64 {
+		if batchEval {
+			accs := o.Runner.AccuracyBatch([]faultsim.Campaign{
+				{BER: o.BER, Opts: opts},
+				{BER: o.BER, Opts: confirmOpts},
+			}, o.Rounds)
+			if accs[0] < target {
+				return accs[0]
+			}
+			return (accs[0] + accs[1]) / 2
+		}
 		acc := o.Runner.Accuracy(o.BER, opts, o.Rounds)
 		if acc < target {
 			return acc

@@ -89,6 +89,10 @@ type Config struct {
 	Seed uint64
 	// TileF4 switches winograd from F(2x2,3x3) to F(4x4,3x3).
 	TileF4 bool
+	// Workers caps the fault-campaign parallelism (0 = GOMAXPROCS, 1 =
+	// serial). Every result is bit-identical for any worker count; Workers
+	// only changes wall-clock time.
+	Workers int
 }
 
 func (c *Config) normalize() {
@@ -181,6 +185,7 @@ func New(cfg Config) (*System, error) {
 			Seed:            cfg.Seed,
 			Intensity:       models.IntensityFor(arch, full, cfg.kind(), cfg.tile()),
 			NeuronIntensity: models.NeuronIntensityFor(arch, full),
+			Workers:         cfg.Workers,
 		},
 	}, nil
 }
