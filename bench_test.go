@@ -117,6 +117,33 @@ func BenchmarkForwardCtxReuse(b *testing.B) {
 	}
 }
 
+// benchForwardCtx measures the steady-state campaign hot path: a reused
+// ExecContext whose scratch arenas are already warm, fault-free rounds.
+// allocs/op must stay 0 (see TestForwardCtxAllocFree); ns/op is the paired
+// before/after metric the CI benchmark-delta step compares across commits.
+func benchForwardCtx(b *testing.B, kind nn.EngineKind) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: kind, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	in := tensor.Quantize(
+		tensor.New(tensor.Shape{N: 1, C: 3, H: arch.In.H, W: arch.In.W}).Random(rng.New(2), 0.5),
+		fixed.Int16)
+	ctx := net.NewExecContext()
+	net.ForwardCtx(ctx, in, nil) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardCtx(ctx, in, nil)
+	}
+}
+
+// BenchmarkForwardCtxDirect is the steady-state direct-engine forward pass.
+func BenchmarkForwardCtxDirect(b *testing.B) { benchForwardCtx(b, nn.Direct) }
+
+// BenchmarkForwardCtxWinograd is the steady-state winograd forward pass.
+func BenchmarkForwardCtxWinograd(b *testing.B) { benchForwardCtx(b, nn.Winograd) }
+
 // Campaign-scheduler benchmarks: one 8-point BER sweep of a winograd
 // VGG19-tiny campaign at different worker counts. Accuracies are
 // bit-identical across all of these; only wall-clock changes. On an N-core

@@ -100,24 +100,92 @@ func (p *Params) accumBias(inFmt fixed.Format) []int64 {
 	return out
 }
 
+// Scratch is the reusable buffer arena of one layer's forward passes: the
+// padded-input copy, the recycled output tensor and the accumulator-scale
+// bias cache. The zero value is ready to use; a Scratch belongs to one
+// (Params, goroutine) pair and makes steady-state passes allocation-free.
+// See DESIGN.md, memory model.
+type Scratch struct {
+	padded  *tensor.QTensor
+	out     *tensor.QTensor
+	bias    []int64
+	biasFmt fixed.Format
+	biasOK  bool
+}
+
+// cachedBias returns accumBias through the scratch cache (the scale depends
+// only on in.Fmt.Frac, constant across a campaign's rounds).
+func (p *Params) cachedBias(sc *Scratch, inFmt fixed.Format) []int64 {
+	if p.BiasF == nil {
+		return nil
+	}
+	if !sc.biasOK || sc.biasFmt != inFmt {
+		sc.bias = p.accumBias(inFmt)
+		sc.biasFmt = inFmt
+		sc.biasOK = true
+	}
+	return sc.bias
+}
+
+// padInput returns the input extended by p.Pad zero rows/columns on every
+// spatial side, recycled from sc. For Pad == 0 the input itself is returned
+// (it is only ever read). The recycled buffer's zero border is written only
+// at allocation: interior rows are refreshed every pass and the border is
+// geometry-dependent only.
+func (p *Params) padInput(sc *Scratch, in *tensor.QTensor) *tensor.QTensor {
+	if p.Pad == 0 {
+		return in
+	}
+	s := in.Shape
+	ps := tensor.Shape{N: s.N, C: s.C, H: s.H + 2*p.Pad, W: s.W + 2*p.Pad}
+	if sc.padded == nil || sc.padded.Shape != ps || sc.padded.Fmt != in.Fmt {
+		sc.padded = tensor.NewQ(ps, in.Fmt)
+	}
+	dst := sc.padded
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				srcBase := s.Index(n, c, h, 0)
+				dstBase := ps.Index(n, c, h+p.Pad, p.Pad)
+				copy(dst.Data[dstBase:dstBase+s.W], in.Data[srcBase:srcBase+s.W])
+			}
+		}
+	}
+	return dst
+}
+
 // Forward computes the fault-free convolution.
 func Forward(in *tensor.QTensor, p *Params) *tensor.QTensor {
 	return ForwardFaulty(in, p, nil)
 }
 
 // ForwardFaulty computes the convolution with the given fault events applied
-// bit-exactly at their op sites. The fast path computes the whole layer, then
-// every output element touched by an event is recomputed through the scalar
-// replay path with its events applied in op order.
+// bit-exactly at their op sites, allocating fresh buffers. Hot paths use
+// ForwardFaultyCtx with a reusable Scratch.
 func ForwardFaulty(in *tensor.QTensor, p *Params, events []fault.Event) *tensor.QTensor {
+	return ForwardFaultyCtx(&Scratch{}, in, p, events)
+}
+
+// ForwardFaultyCtx is ForwardFaulty drawing every buffer from sc. The fast
+// path computes the whole layer, then every output element touched by an
+// event is recomputed through the scalar replay path with its events applied
+// in op order. The returned tensor aliases sc and is valid until the next
+// call with the same scratch.
+func ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, p *Params, events []fault.Event) *tensor.QTensor {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	ws := p.Weight.Shape
 	if in.Shape.C != ws.C {
 		panic(fmt.Sprintf("conv: input channels %d != weight channels %d", in.Shape.C, ws.C))
 	}
-	padded := in.Pad2D(p.Pad)
+	padded := p.padInput(sc, in)
 	outShape := p.OutShape(in.Shape)
-	out := tensor.NewQ(outShape, p.OutFmt)
-	bias := p.accumBias(in.Fmt)
+	if sc.out == nil || sc.out.Shape != outShape || sc.out.Fmt != p.OutFmt {
+		sc.out = tensor.NewQ(outShape, p.OutFmt)
+	}
+	out := sc.out
+	bias := p.cachedBias(sc, in.Fmt)
 	shift := in.Fmt.Frac + p.Weight.Fmt.Frac - p.OutFmt.Frac
 
 	oc, oh, ow := outShape.C, outShape.H, outShape.W

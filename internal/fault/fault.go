@@ -13,6 +13,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fixed"
 	"repro/internal/rng"
@@ -108,9 +109,15 @@ func (c Census) AddCensus(o Census) Census {
 }
 
 // Scale returns the census multiplied by k (used to translate a scaled-down
-// model's census to the full-size network's fault intensity).
+// model's census to the full-size network's fault intensity), rounding half
+// away from zero: truncating toward zero would bias every scaled-up intensity
+// low by up to one whole operation per class.
 func (c Census) Scale(k float64) Census {
-	return Census{Mul: int64(float64(c.Mul) * k), Add: int64(float64(c.Add) * k)}
+	return Census{Mul: scaleCount(c.Mul, k), Add: scaleCount(c.Add, k)}
+}
+
+func scaleCount(n int64, k float64) int64 {
+	return int64(math.Round(float64(n) * k))
 }
 
 // SurfaceBits returns the size in bits of the fault surface of one operation

@@ -27,6 +27,28 @@ func TestCensusArithmetic(t *testing.T) {
 	}
 }
 
+func TestCensusScaleRounds(t *testing.T) {
+	cases := []struct {
+		c    Census
+		k    float64
+		want Census
+	}{
+		// Exact integer products must be exact.
+		{Census{Mul: 10, Add: 20}, 3, Census{Mul: 30, Add: 60}},
+		{Census{Mul: 1 << 40, Add: 1 << 41}, 8, Census{Mul: 1 << 43, Add: 1 << 44}},
+		// Fractional products round half away from zero, not truncate:
+		// int64(10*1.75) would already be 17, but int64(3*1.5)=4 truncates 4.5.
+		{Census{Mul: 3, Add: 5}, 1.5, Census{Mul: 5, Add: 8}},
+		{Census{Mul: 7, Add: 9}, 0.1, Census{Mul: 1, Add: 1}},
+		{Census{Mul: 1, Add: 2}, 0.2, Census{Mul: 0, Add: 0}},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Scale(tc.k); got != tc.want {
+			t.Errorf("%v.Scale(%v) = %v, want %v", tc.c, tc.k, got, tc.want)
+		}
+	}
+}
+
 func TestSurfaceBits(t *testing.T) {
 	cases := []struct {
 		sem  Semantics

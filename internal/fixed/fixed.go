@@ -52,7 +52,12 @@ func (f Format) Scale() float64 { return math.Ldexp(1, -f.Frac) }
 
 // Quantize converts a real value to the nearest representable stored integer,
 // rounding half away from zero and saturating at the representable range.
+// NaN maps to 0 (int32(NaN) is implementation-defined garbage otherwise);
+// ±Inf saturate like any out-of-range value.
 func (f Format) Quantize(x float64) int32 {
+	if math.IsNaN(x) {
+		return 0
+	}
 	scaled := x * math.Ldexp(1, f.Frac)
 	var r float64
 	if scaled >= 0 {

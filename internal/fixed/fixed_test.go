@@ -73,6 +73,24 @@ func TestQuantizeRoundHalfAwayFromZero(t *testing.T) {
 	}
 }
 
+func TestQuantizeNonFinite(t *testing.T) {
+	for _, f := range []Format{Int8, Int16, {Width: 32, Frac: 16}} {
+		cases := []struct {
+			x    float64
+			want int32
+		}{
+			{math.NaN(), 0},
+			{math.Inf(1), f.Max()},
+			{math.Inf(-1), f.Min()},
+		}
+		for _, c := range cases {
+			if got := f.Quantize(c.x); got != c.want {
+				t.Errorf("%v.Quantize(%v) = %d, want %d", f, c.x, got, c.want)
+			}
+		}
+	}
+}
+
 func TestRoundShift(t *testing.T) {
 	cases := []struct {
 		v    int64

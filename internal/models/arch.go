@@ -253,14 +253,7 @@ func Census(a *Arch, kind nn.EngineKind, tile *winograd.Tile) []fault.Census {
 	out := make([]fault.Census, len(a.Ops))
 	shapes := make([]tensor.Shape, len(a.Ops))
 	for i, d := range a.Ops {
-		ins := make([]tensor.Shape, len(d.Inputs))
-		for j, idx := range d.Inputs {
-			if idx == nn.InputNode {
-				ins[j] = a.In
-			} else {
-				ins[j] = shapes[idx]
-			}
-		}
+		ins := nodeInputShapes(a, i, shapes)
 		switch d.Kind {
 		case "conv":
 			if kind == nn.Winograd && d.K >= 2 {
@@ -284,20 +277,49 @@ func Census(a *Arch, kind nn.EngineKind, tile *winograd.Tile) []fault.Census {
 	return out
 }
 
+// ValidateGeometry checks that every node of the architecture produces a
+// non-empty output shape, so undersized inputs surface as a descriptive
+// error at construction time instead of a panic deep inside the convolution
+// engines ("input too small") at forward time. It propagates shapes exactly
+// as Build does; the first collapsing node is reported by name.
+func ValidateGeometry(a *Arch) error {
+	if !a.In.Valid() {
+		return fmt.Errorf("models: %s input shape %v is empty", a.Name, a.In)
+	}
+	shapes := make([]tensor.Shape, len(a.Ops))
+	for i, d := range a.Ops {
+		ins := nodeInputShapes(a, i, shapes)
+		out := outShapeOf(d, ins)
+		if !out.Valid() {
+			return fmt.Errorf("models: %s node %q (%s %dx%d s%d p%d) collapses to %v for input %v: input resolution too small",
+				a.Name, d.Name, d.Kind, d.K, d.K, d.Stride, d.Pad, out, ins[0])
+		}
+		shapes[i] = out
+	}
+	return nil
+}
+
+// nodeInputShapes resolves node i's input shapes from the already-propagated
+// node output shapes, shared by every geometry walk over an Arch.
+func nodeInputShapes(a *Arch, i int, shapes []tensor.Shape) []tensor.Shape {
+	d := a.Ops[i]
+	ins := make([]tensor.Shape, len(d.Inputs))
+	for j, idx := range d.Inputs {
+		if idx == nn.InputNode {
+			ins[j] = a.In
+		} else {
+			ins[j] = shapes[idx]
+		}
+	}
+	return ins
+}
+
 // Shapes returns every node's output shape (batch 1) from geometry alone,
 // used to derive full-scale neuron counts for neuron-level injection.
 func Shapes(a *Arch) []tensor.Shape {
 	shapes := make([]tensor.Shape, len(a.Ops))
 	for i, d := range a.Ops {
-		ins := make([]tensor.Shape, len(d.Inputs))
-		for j, idx := range d.Inputs {
-			if idx == nn.InputNode {
-				ins[j] = a.In
-			} else {
-				ins[j] = shapes[idx]
-			}
-		}
-		shapes[i] = outShapeOf(d, ins)
+		shapes[i] = outShapeOf(d, nodeInputShapes(a, i, shapes))
 	}
 	return shapes
 }

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/fixed"
@@ -72,6 +73,42 @@ func TestWinogradVariantMatchesDirect(t *testing.T) {
 					maxd, limit, meanAbs)
 			}
 		})
+	}
+}
+
+func TestValidateGeometry(t *testing.T) {
+	// Every zoo model must validate at experiment scales and even at absurdly
+	// small resolutions (the "same"-padded stacks keep spatial dims >= 1).
+	for _, opts := range []Options{Tiny, Quick, {WidthMult: 0.125, InputSize: 1}} {
+		for name, arch := range Zoo(opts) {
+			if err := ValidateGeometry(arch); err != nil {
+				t.Errorf("%s at %+v: unexpected error %v", name, opts, err)
+			}
+		}
+	}
+
+	// A valid-pad convolution on an undersized input must be rejected with a
+	// descriptive error instead of panicking inside the engines at forward
+	// time ("input too small").
+	bad := &Arch{
+		Name: "tiny-valid-pad", Dataset: "synthetic", Classes: 2,
+		In: tensor.Shape{N: 1, C: 2, H: 2, W: 2},
+		Ops: []OpDef{
+			{Name: "conv1", Kind: "conv", Inputs: []int{-1}, OutC: 2, K: 3, Stride: 1, Pad: 0},
+		},
+		Output: 0,
+	}
+	err := ValidateGeometry(bad)
+	if err == nil {
+		t.Fatal("collapsing geometry validated")
+	}
+	if !strings.Contains(err.Error(), "conv1") || !strings.Contains(err.Error(), "too small") {
+		t.Errorf("error %q does not name the collapsing node", err)
+	}
+
+	empty := &Arch{Name: "empty", In: tensor.Shape{}}
+	if ValidateGeometry(empty) == nil {
+		t.Error("empty input shape validated")
 	}
 }
 

@@ -80,9 +80,9 @@ func (o *ConvOp) Census(ins []tensor.Shape) fault.Census {
 	return o.direct.Census(ins[0])
 }
 
-func (o *ConvOp) Forward(ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
+func (o *ConvOp) Forward(sc *Scratch, ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
 	if o.wg != nil {
-		return o.wg.ForwardFaulty(ins[0], events)
+		return o.wg.ForwardFaultyCtx(sc.wgScratch(), ins[0], events)
 	}
-	return conv.ForwardFaulty(ins[0], o.direct, events)
+	return conv.ForwardFaultyCtx(sc.convScratch(), ins[0], o.direct, events)
 }

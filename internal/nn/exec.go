@@ -17,6 +17,12 @@ import (
 // batch shape, which is constant across the thousands of Monte-Carlo rounds
 // of a fault campaign, so they are computed once per (context, input shape)
 // instead of once per round.
+//
+// It is also the allocation arena of the hot path: every node owns a Scratch
+// (recycled output tensors, engine accumulators and transform buffers,
+// padded-input copies, cached accumulator-scale biases) threaded through
+// Op.Forward, so after the first round a steady-state fault-free ForwardCtx
+// performs no heap allocation at all (enforced by TestForwardCtxAllocFree).
 
 // ExecContext is the reusable per-goroutine state of forward passes over one
 // Network. The zero value is not usable; obtain one from
@@ -27,11 +33,12 @@ type ExecContext struct {
 	net     *Network
 	inShape tensor.Shape // input shape the cached geometry was computed for
 
-	shapes []tensor.Shape // per-node output shapes for inShape
-	census []fault.Census // per-node op censuses for inShape
-	hasOps []bool         // census[i].Total() > 0, hoisted out of the round loop
-	acts   []*tensor.QTensor
-	ins    [][]*tensor.QTensor // per-node resolved input views, refilled per pass
+	shapes  []tensor.Shape // per-node output shapes for inShape
+	census  []fault.Census // per-node op censuses for inShape
+	hasOps  []bool         // census[i].Total() > 0, hoisted out of the round loop
+	acts    []*tensor.QTensor
+	ins     [][]*tensor.QTensor // per-node resolved input views, refilled per pass
+	scratch []*Scratch          // per-node reusable buffer arenas (see scratch.go)
 }
 
 // NewExecContext returns an execution context bound to this network.
@@ -51,12 +58,14 @@ func (c *ExecContext) prepare(inShape tensor.Shape) {
 	c.hasOps = make([]bool, len(n.Nodes))
 	c.acts = make([]*tensor.QTensor, len(n.Nodes))
 	c.ins = make([][]*tensor.QTensor, len(n.Nodes))
+	c.scratch = make([]*Scratch, len(n.Nodes))
 	for i := range n.Nodes {
 		ins := n.shapesOf(i, c.shapes, inShape)
 		c.census[i] = n.Nodes[i].Op.Census(ins)
 		c.hasOps[i] = c.census[i].Total() > 0
 		c.shapes[i] = n.Nodes[i].Op.OutShape(ins)
 		c.ins[i] = make([]*tensor.QTensor, len(n.Nodes[i].Inputs))
+		c.scratch[i] = &Scratch{}
 	}
 }
 
@@ -83,7 +92,7 @@ func (n *Network) ForwardCtx(ctx *ExecContext, in *tensor.QTensor, inj Injector)
 		if inj != nil && ctx.hasOps[i] {
 			events = inj.OpEvents(i, ctx.census[i])
 		}
-		ctx.acts[i] = nd.Op.Forward(ins, events)
+		ctx.acts[i] = nd.Op.Forward(ctx.scratch[i], ins, events)
 		if inj != nil {
 			inj.Neuron(i, ctx.acts[i])
 		}

@@ -23,8 +23,11 @@ type Op interface {
 	// Census returns the op's primitive-operation counts (zero for ops with
 	// no multiply/add arithmetic, e.g. ReLU and max-pooling).
 	Census(ins []tensor.Shape) fault.Census
-	// Forward computes the op with the given fault events applied.
-	Forward(ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor
+	// Forward computes the op with the given fault events applied, drawing
+	// reusable buffers from sc (nil means allocate fresh ones). The returned
+	// tensor may alias sc and stays valid until the next Forward call with
+	// the same scratch.
+	Forward(sc *Scratch, ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor
 }
 
 // ReLU is the rectified linear activation. It performs no counted arithmetic.
@@ -33,12 +36,14 @@ type ReLU struct{}
 func (ReLU) Kind() string                             { return "relu" }
 func (ReLU) OutShape(ins []tensor.Shape) tensor.Shape { return ins[0] }
 func (ReLU) Census(ins []tensor.Shape) fault.Census   { return fault.Census{} }
-func (ReLU) Forward(ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
+func (ReLU) Forward(sc *Scratch, ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
 	in := ins[0]
-	out := tensor.NewQ(in.Shape, in.Fmt)
+	out := sc.Output(in.Shape, in.Fmt)
 	for i, v := range in.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -63,10 +68,10 @@ func (p MaxPool) OutShape(ins []tensor.Shape) tensor.Shape {
 
 func (MaxPool) Census(ins []tensor.Shape) fault.Census { return fault.Census{} }
 
-func (p MaxPool) Forward(ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
+func (p MaxPool) Forward(sc *Scratch, ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
 	in := ins[0]
 	os := p.OutShape([]tensor.Shape{in.Shape})
-	out := tensor.NewQ(os, in.Fmt)
+	out := sc.Output(os, in.Fmt)
 	for n := 0; n < os.N; n++ {
 		for c := 0; c < os.C; c++ {
 			for oy := 0; oy < os.H; oy++ {
@@ -123,10 +128,10 @@ func (p AvgPool) Census(ins []tensor.Shape) fault.Census {
 	return fault.Census{Add: int64(os.Elems()) * int64(p.K*p.K-1)}
 }
 
-func (p AvgPool) Forward(ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
+func (p AvgPool) Forward(sc *Scratch, ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
 	in := ins[0]
 	os := p.OutShape([]tensor.Shape{in.Shape})
-	out := tensor.NewQ(os, in.Fmt)
+	out := sc.Output(os, in.Fmt)
 	perOut := int64(p.K*p.K - 1)
 	byOut := groupByOutput(events, perOut)
 	div := int64(p.K * p.K)
@@ -180,10 +185,10 @@ func (GlobalAvgPool) Census(ins []tensor.Shape) fault.Census {
 	return fault.Census{Add: int64(in.N) * int64(in.C) * int64(in.H*in.W-1)}
 }
 
-func (GlobalAvgPool) Forward(ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
+func (GlobalAvgPool) Forward(sc *Scratch, ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
 	in := ins[0]
 	os := tensor.Shape{N: in.Shape.N, C: in.Shape.C, H: 1, W: 1}
-	out := tensor.NewQ(os, in.Fmt)
+	out := sc.Output(os, in.Fmt)
 	hw := in.Shape.H * in.Shape.W
 	perOut := int64(hw - 1)
 	byOut := groupByOutput(events, perOut)
@@ -221,12 +226,12 @@ func (Add) Census(ins []tensor.Shape) fault.Census {
 	return fault.Census{Add: int64(ins[0].Elems())}
 }
 
-func (Add) Forward(ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
+func (Add) Forward(sc *Scratch, ins []*tensor.QTensor, events []fault.Event) *tensor.QTensor {
 	a, b := ins[0], ins[1]
 	if a.Shape != b.Shape {
 		panic("nn: residual add shape mismatch")
 	}
-	out := tensor.NewQ(a.Shape, a.Fmt)
+	out := sc.Output(a.Shape, a.Fmt)
 	byOut := groupByOutput(events, 1)
 	for i := range a.Data {
 		s := applyAddEvents(int64(a.Data[i]), int64(b.Data[i]), byOut[int64(i)])
@@ -255,13 +260,9 @@ func (Concat) OutShape(ins []tensor.Shape) tensor.Shape {
 
 func (Concat) Census(ins []tensor.Shape) fault.Census { return fault.Census{} }
 
-func (Concat) Forward(ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
-	shapes := make([]tensor.Shape, len(ins))
-	for i, in := range ins {
-		shapes[i] = in.Shape
-	}
-	os := Concat{}.OutShape(shapes)
-	out := tensor.NewQ(os, ins[0].Fmt)
+func (Concat) Forward(sc *Scratch, ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
+	os := concatOutShape(ins)
+	out := sc.Output(os, ins[0].Fmt)
 	for n := 0; n < os.N; n++ {
 		cOff := 0
 		for _, in := range ins {
@@ -288,11 +289,26 @@ func (Flatten) OutShape(ins []tensor.Shape) tensor.Shape {
 
 func (Flatten) Census(ins []tensor.Shape) fault.Census { return fault.Census{} }
 
-func (Flatten) Forward(ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
+func (Flatten) Forward(sc *Scratch, ins []*tensor.QTensor, _ []fault.Event) *tensor.QTensor {
 	in := ins[0]
-	out := tensor.NewQ(Flatten{}.OutShape([]tensor.Shape{in.Shape}), in.Fmt)
+	out := sc.Output(Flatten{}.OutShape([]tensor.Shape{in.Shape}), in.Fmt)
 	copy(out.Data, in.Data)
 	return out
+}
+
+// concatOutShape computes the concat output shape directly from the input
+// tensors, avoiding the per-call shape-slice allocation of OutShape.
+func concatOutShape(ins []*tensor.QTensor) tensor.Shape {
+	s := ins[0].Shape
+	c := 0
+	for _, in := range ins {
+		if in.Shape.N != s.N || in.Shape.H != s.H || in.Shape.W != s.W {
+			panic(fmt.Sprintf("nn: concat spatial mismatch %v vs %v", in.Shape, s))
+		}
+		c += in.Shape.C
+	}
+	s.C = c
+	return s
 }
 
 // roundDiv divides rounding half away from zero.

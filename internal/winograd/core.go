@@ -2,6 +2,7 @@ package winograd
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/fixed"
@@ -27,6 +28,7 @@ type Params struct {
 	OutC  int
 	InC   int
 	U     []int32 // transformed weights, [oc][c][T*T], frac = WFrac+FracExtra
+	UT    []int32 // U transposed to [pos][oc][c] for contiguous Hadamard sums
 	WFrac int     // fractional bits of the original weight format
 	WBits int     // width of the weight/activation operand registers
 }
@@ -66,6 +68,18 @@ func NewParams(w *tensor.Tensor, t *Tile, wFmt fixed.Format) *Params {
 				} else {
 					p.U[base+i] = int32(s - 0.5)
 				}
+			}
+		}
+	}
+	// The fast path accumulates over input channels at fixed (position,
+	// output channel); storing the weights position-major makes that inner
+	// loop walk both operands with stride 1.
+	t2 := T * T
+	p.UT = make([]int32, t2*outC*inC)
+	for o := 0; o < outC; o++ {
+		for c := 0; c < inC; c++ {
+			for i := 0; i < t2; i++ {
+				p.UT[(i*outC+o)*inC+c] = p.U[(o*inC+c)*t2+i]
 			}
 		}
 	}
@@ -137,10 +151,84 @@ func (p *Params) tileOfEvent(ev fault.Event, ntTotal int64) int64 {
 	}
 }
 
+// coreScratch holds every buffer one Params forward pass needs. The zero
+// value is ready to use; buffers are (re)allocated on first use or geometry
+// change and recycled afterwards, so steady-state passes are allocation-free.
+// A coreScratch may be shared sequentially by several Params of identical
+// geometry (the DWM units of one layer) but never concurrently.
+type coreScratch struct {
+	acc  []int64         // accumulator-domain output, outShape.Elems()
+	ext  *tensor.QTensor // extended input copy (tile overhang); zero border
+	d    []int64         // one TxT input tile
+	v    []int64         // transformed input, [c][T²]
+	vT   []int64         // v transposed to [pos][c]
+	msum []int64         // Hadamard sums, [oc][T²]
+	y    []int64         // one MxM output tile
+	tmp  []int64         // matTransform intermediate
+
+	// Sorted-events cursor state (event rounds only).
+	evs    []fault.Event // events stably sorted by owning tile
+	evTile []int64       // owning tile of evs[i], same order
+	sorter tileSorter    // reusable sort.Stable adapter for large draws
+}
+
+// i64 returns a recycled []int64 of length n (contents unspecified).
+func i64(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	return (*buf)[:n]
+}
+
+// sortEventsByTile fills cs.evs/cs.evTile with the events stably sorted by
+// their owning tile, so the tile walk can consume them with a cursor instead
+// of a per-call map. Small event sets (the overwhelmingly common case) use a
+// stable insertion sort with zero allocation; large high-BER draws fall back
+// to sort.Stable to stay O(k·log²k).
+func (p *Params) sortEventsByTile(cs *coreScratch, events []fault.Event, ntTotal int64) {
+	cs.evs = append(cs.evs[:0], events...)
+	if cap(cs.evTile) < len(events) {
+		cs.evTile = make([]int64, len(events))
+	}
+	cs.evTile = cs.evTile[:len(events)]
+	for i, ev := range events {
+		cs.evTile[i] = p.tileOfEvent(ev, ntTotal)
+	}
+	if len(cs.evs) > 32 {
+		cs.sorter.cs = cs
+		sort.Stable(&cs.sorter)
+		return
+	}
+	for i := 1; i < len(cs.evs); i++ {
+		for j := i; j > 0 && cs.evTile[j-1] > cs.evTile[j]; j-- {
+			cs.evTile[j-1], cs.evTile[j] = cs.evTile[j], cs.evTile[j-1]
+			cs.evs[j-1], cs.evs[j] = cs.evs[j], cs.evs[j-1]
+		}
+	}
+}
+
+// tileSorter stably orders a coreScratch's event buffers by owning tile.
+type tileSorter struct{ cs *coreScratch }
+
+func (s *tileSorter) Len() int           { return len(s.cs.evs) }
+func (s *tileSorter) Less(i, j int) bool { return s.cs.evTile[i] < s.cs.evTile[j] }
+func (s *tileSorter) Swap(i, j int) {
+	s.cs.evTile[i], s.cs.evTile[j] = s.cs.evTile[j], s.cs.evTile[i]
+	s.cs.evs[i], s.cs.evs[j] = s.cs.evs[j], s.cs.evs[i]
+}
+
 // ForwardAcc computes the layer into an accumulator-domain buffer indexed by
 // out.Shape.Index, applying any fault events bit-exactly. The input must be
-// pre-padded by the caller.
+// pre-padded by the caller. The returned buffer is freshly allocated; hot
+// paths reach the scratch-reusing forwardAcc through Layer.ForwardFaultyCtx,
+// whose winograd.Scratch owns the core scratch.
 func (p *Params) ForwardAcc(in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
+	return p.forwardAcc(&coreScratch{}, in, events)
+}
+
+// forwardAcc is ForwardAcc against a caller-owned scratch: the returned slice
+// aliases cs.acc and is valid until the next call with the same scratch.
+func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
 	if in.Shape.C != p.InC {
 		panic(fmt.Sprintf("winograd: input channels %d != %d", in.Shape.C, p.InC))
 	}
@@ -151,13 +239,19 @@ func (p *Params) ForwardAcc(in *tensor.QTensor, events []fault.Event) ([]int64, 
 	tilesY, tilesX := p.tileGrid(outShape)
 	ntTotal := int64(in.Shape.N) * int64(tilesY) * int64(tilesX)
 
-	// Extend the input so every tile reads a full TxT window.
+	// Extend the input so every tile reads a full TxT window. The recycled
+	// buffer's overhang border is written only by NewQ's zeroing: interior
+	// rows are refreshed every pass, the border is geometry-dependent only.
 	t, m, T := p.Tile, p.Tile.M, p.Tile.T()
 	needH := (tilesY-1)*m + T
 	needW := (tilesX-1)*m + T
 	ext := in
 	if needH > in.Shape.H || needW > in.Shape.W {
-		ext = tensor.NewQ(tensor.Shape{N: in.Shape.N, C: in.Shape.C, H: needH, W: needW}, in.Fmt)
+		extShape := tensor.Shape{N: in.Shape.N, C: in.Shape.C, H: needH, W: needW}
+		if cs.ext == nil || cs.ext.Shape != extShape || cs.ext.Fmt != in.Fmt {
+			cs.ext = tensor.NewQ(extShape, in.Fmt)
+		}
+		ext = cs.ext
 		for n := 0; n < in.Shape.N; n++ {
 			for c := 0; c < in.Shape.C; c++ {
 				for y := 0; y < in.Shape.H; y++ {
@@ -169,65 +263,123 @@ func (p *Params) ForwardAcc(in *tensor.QTensor, events []fault.Event) ([]int64, 
 		}
 	}
 
-	byTile := map[int64][]fault.Event{}
-	for _, ev := range events {
-		nt := p.tileOfEvent(ev, ntTotal)
-		byTile[nt] = append(byTile[nt], ev)
+	// Route events to tiles with a sorted cursor: the tile walk below visits
+	// nt in strictly increasing order, so a stably tile-sorted event slice is
+	// consumed front to back and the fault-free common case pays nothing.
+	// The truncation matters: a recycled scratch still holds the previous
+	// event round's sorted events, which must not leak into this pass.
+	evCursor := 0
+	cs.evs, cs.evTile = cs.evs[:0], cs.evTile[:0]
+	if len(events) > 0 {
+		p.sortEventsByTile(cs, events, ntTotal)
 	}
 
-	acc := make([]int64, outShape.Elems())
 	t2 := T * T
-	d := make([]int64, t2)
-	v := make([]int64, p.InC*t2)
-	scratch := make([]int64, t2)
-	msum := make([]int64, t2)
-	y := make([]int64, m*m)
+	acc := i64(&cs.acc, outShape.Elems())
+	d := i64(&cs.d, t2)
+	v := i64(&cs.v, p.InC*t2)
+	vT := i64(&cs.vT, t2*p.InC)
+	msum := i64(&cs.msum, p.OutC*t2)
+	y := i64(&cs.y, m*m)
+	tmp := i64(&cs.tmp, t2)
+
+	extW := ext.Shape.W
+	extChan := ext.Shape.H * extW
+	outW := outShape.W
+	outChan := outShape.H * outW
+	inC, outC := p.InC, p.OutC
+	inXform, outXform, inXformRows := t.inXform, t.outXform, t.inXformRows
 
 	for n := 0; n < in.Shape.N; n++ {
+		extBatch := n * inC * extChan
+		outBatch := n * outC * outChan
 		for ty := 0; ty < tilesY; ty++ {
+			// Rows/cols of this tile row that land inside the output.
+			mi := m
+			if rest := outShape.H - ty*m; rest < m {
+				mi = rest
+			}
 			for tx := 0; tx < tilesX; tx++ {
 				nt := (int64(n)*int64(tilesY)+int64(ty))*int64(tilesX) + int64(tx)
-				if evs, ok := byTile[nt]; ok {
-					p.replayTile(ext, acc, outShape, n, ty, tx, nt, ntTotal, evs)
+				if evCursor < len(cs.evTile) && cs.evTile[evCursor] == nt {
+					run := evCursor
+					for run < len(cs.evTile) && cs.evTile[run] == nt {
+						run++
+					}
+					p.replayTile(ext, acc, outShape, n, ty, tx, nt, ntTotal, cs.evs[evCursor:run])
+					evCursor = run
 					continue
 				}
-				// Fast path: input transform per channel.
-				for c := 0; c < p.InC; c++ {
+				// Fast path: input transform per channel, then transpose to
+				// position-major for the Hadamard stage.
+				tileBase := extBatch + ty*m*extW + tx*m
+				for c := 0; c < inC; c++ {
+					base := tileBase + c*extChan
+					if inXformRows != nil {
+						inXformRows(ext.Data[base:base+(T-1)*extW+T], extW, v[c*t2:(c+1)*t2])
+						continue
+					}
 					for i := 0; i < T; i++ {
-						base := ext.Shape.Index(n, c, ty*m+i, tx*m)
+						row := ext.Data[base : base+T : base+T]
 						for j := 0; j < T; j++ {
-							d[i*T+j] = int64(ext.Data[base+j])
+							d[i*T+j] = int64(row[j])
 						}
+						base += extW
 					}
-					matTransform(t.BT, T, T, d, v[c*t2:(c+1)*t2], scratch)
+					if inXform != nil {
+						inXform(d, v[c*t2:(c+1)*t2])
+					} else {
+						matTransform(t.BT, T, T, d, v[c*t2:(c+1)*t2], tmp)
+					}
 				}
-				// Hadamard + channel accumulation + output transform.
-				for o := 0; o < p.OutC; o++ {
-					uBase := o * p.InC * t2
+				for c := 0; c < inC; c++ {
+					vb := c * t2
 					for i := 0; i < t2; i++ {
-						msum[i] = int64(p.U[uBase+i]) * v[i]
+						vT[i*inC+c] = v[vb+i]
 					}
-					for c := 1; c < p.InC; c++ {
-						ub := uBase + c*t2
-						vb := c * t2
-						for i := 0; i < t2; i++ {
-							msum[i] += int64(p.U[ub+i]) * v[vb+i]
+				}
+				// Hadamard + channel accumulation: for each (position, out
+				// channel) both the weight row UT[i][o][:] and the activation
+				// row vT[i][:] are contiguous; summation stays in increasing
+				// channel order, so the int64 sums are bit-identical to the
+				// channel-major loop.
+				for i := 0; i < t2; i++ {
+					vRow := vT[i*inC : (i+1)*inC]
+					uPos := p.UT[i*outC*inC : (i+1)*outC*inC]
+					for o := 0; o < outC; o++ {
+						uRow := uPos[o*inC : o*inC+inC]
+						uRow = uRow[:len(vRow)]
+						var s int64
+						c := 0
+						for ; c+3 < len(vRow); c += 4 {
+							s += int64(uRow[c])*vRow[c] +
+								int64(uRow[c+1])*vRow[c+1] +
+								int64(uRow[c+2])*vRow[c+2] +
+								int64(uRow[c+3])*vRow[c+3]
 						}
+						for ; c < len(vRow); c++ {
+							s += int64(uRow[c]) * vRow[c]
+						}
+						msum[o*t2+i] = s
 					}
-					matTransform(t.AT, m, T, msum, y, scratch)
-					for i := 0; i < m; i++ {
-						oy := ty*m + i
-						if oy >= outShape.H {
-							continue
+				}
+				// Output transform + write-out per out channel.
+				mj := m
+				if rest := outShape.W - tx*m; rest < m {
+					mj = rest
+				}
+				for o := 0; o < outC; o++ {
+					if outXform != nil {
+						outXform(msum[o*t2:(o+1)*t2], y)
+					} else {
+						matTransform(t.AT, m, T, msum[o*t2:(o+1)*t2], y, tmp)
+					}
+					rowBase := outBatch + o*outChan + ty*m*outW + tx*m
+					for i := 0; i < mi; i++ {
+						for j := 0; j < mj; j++ {
+							acc[rowBase+j] = y[i*m+j]
 						}
-						rowBase := outShape.Index(n, o, oy, 0)
-						for j := 0; j < m; j++ {
-							ox := tx*m + j
-							if ox >= outShape.W {
-								continue
-							}
-							acc[rowBase+ox] = y[i*m+j]
-						}
+						rowBase += outW
 					}
 				}
 			}

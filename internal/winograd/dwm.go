@@ -182,24 +182,62 @@ func (l *Layer) sumAddsPerOut() int64 {
 	return n
 }
 
-// gather materializes the unit's input view: subsample by stride at residue
-// (ry,rx), shift by (sy,sx) sub-grid pixels, with virtual zero padding.
-func (l *Layer) gather(in *tensor.QTensor, u unit, uin tensor.Shape) *tensor.QTensor {
-	g := tensor.NewQ(uin, in.Fmt)
+// Scratch is the reusable buffer arena of one Layer's forward passes: the
+// per-unit gathered input views, the shared core scratch of the DWM units,
+// the summation accumulator, the accumulator-domain bias vector and the
+// recycled output tensor. The zero value is ready to use; a Scratch belongs
+// to one (Layer, goroutine) pair and makes steady-state fault-free passes
+// allocation-free. See DESIGN.md, memory model.
+type Scratch struct {
+	core    coreScratch       // shared by the units (identical geometry)
+	gather  []*tensor.QTensor // per-unit gathered input views
+	acc     []int64           // summation-domain accumulator
+	bias    []int64           // accumulator-scale bias, cached per input fmt
+	biasFmt fixed.Format      // input format the cached bias was scaled for
+	biasOK  bool              // bias cache valid
+	out     *tensor.QTensor   // recycled requantized output
+	unitEvs [][]fault.Event   // per-unit routed events (event rounds only)
+	spans   [2][]int64        // per-unit census spans by op class
+}
+
+// gather materializes the unit's input view into g: subsample by stride at
+// residue (ry,rx), shift by (sy,sx) sub-grid pixels, with virtual zero
+// padding. The set of written positions depends on geometry alone, so a
+// recycled g whose skipped positions are still zero from allocation stays
+// correct across passes.
+func (l *Layer) gather(in *tensor.QTensor, u unit, uin tensor.Shape, g *tensor.QTensor) *tensor.QTensor {
+	inH, inW := in.Shape.H, in.Shape.W
 	for n := 0; n < uin.N; n++ {
 		for c := 0; c < uin.C; c++ {
+			inChan := (n*uin.C + c) * inH * inW
 			for i := 0; i < uin.H; i++ {
 				yIn := l.Stride*(i+u.sy) + u.ry - l.Pad
-				if yIn < 0 || yIn >= in.Shape.H {
+				if yIn < 0 || yIn >= inH {
 					continue
 				}
 				dst := uin.Index(n, c, i, 0)
+				inRow := inChan + yIn*inW
+				if l.Stride == 1 {
+					// xIn = j + off is contiguous: copy the valid segment.
+					off := u.sx + u.rx - l.Pad
+					j0, j1 := 0, uin.W
+					if off < 0 {
+						j0 = -off
+					}
+					if j1 > inW-off {
+						j1 = inW - off
+					}
+					if j0 < j1 {
+						copy(g.Data[dst+j0:dst+j1], in.Data[inRow+j0+off:inRow+j1+off])
+					}
+					continue
+				}
 				for j := 0; j < uin.W; j++ {
 					xIn := l.Stride*(j+u.sx) + u.rx - l.Pad
-					if xIn < 0 || xIn >= in.Shape.W {
+					if xIn < 0 || xIn >= inW {
 						continue
 					}
-					g.Data[dst+j] = in.At(n, c, yIn, xIn)
+					g.Data[dst+j] = in.Data[inRow+xIn]
 				}
 			}
 		}
@@ -212,67 +250,136 @@ func (l *Layer) Forward(in *tensor.QTensor) *tensor.QTensor {
 	return l.ForwardFaulty(in, nil)
 }
 
-// ForwardFaulty computes the layer with fault events applied bit-exactly.
+// ForwardFaulty computes the layer with fault events applied bit-exactly,
+// allocating fresh buffers. Hot paths use ForwardFaultyCtx with a reusable
+// Scratch.
 func (l *Layer) ForwardFaulty(in *tensor.QTensor, events []fault.Event) *tensor.QTensor {
+	return l.ForwardFaultyCtx(&Scratch{}, in, events)
+}
+
+// accumBias returns the bias vector scaled to the accumulator domain,
+// cached in sc per input format (the scale depends only on in.Fmt.Frac,
+// which is constant across the rounds of a campaign).
+func (l *Layer) accumBias(sc *Scratch, inFmt fixed.Format) []int64 {
+	if l.BiasF == nil {
+		return nil
+	}
+	if sc.biasOK && sc.biasFmt == inFmt {
+		return sc.bias
+	}
+	biasScale := float64(int64(1) << uint(inFmt.Frac+l.WFrac+l.Tile.FracExtra))
+	if cap(sc.bias) < len(l.BiasF) {
+		sc.bias = make([]int64, len(l.BiasF))
+	}
+	sc.bias = sc.bias[:len(l.BiasF)]
+	for oc, b := range l.BiasF {
+		s := b * biasScale
+		if s >= 0 {
+			sc.bias[oc] = int64(s + 0.5)
+		} else {
+			sc.bias[oc] = int64(s - 0.5)
+		}
+	}
+	sc.biasFmt = inFmt
+	sc.biasOK = true
+	return sc.bias
+}
+
+// routeEvents splits the layer's events into per-unit slices (rebased to the
+// unit's own op indexing) and the summation-segment map. The per-unit slices
+// recycle sc.unitEvs; the map is allocated only on event rounds.
+func (l *Layer) routeEvents(sc *Scratch, uin tensor.Shape, events []fault.Event) ([][]fault.Event, map[int64][]fault.Event) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	if len(sc.unitEvs) != len(l.units) {
+		sc.unitEvs = make([][]fault.Event, len(l.units))
+	}
+	for i := range sc.unitEvs {
+		sc.unitEvs[i] = sc.unitEvs[i][:0]
+	}
+	mulSpans := i64(&sc.spans[0], len(l.units))
+	addSpans := i64(&sc.spans[1], len(l.units))
+	for i, u := range l.units {
+		c := u.p.Census(uin)
+		mulSpans[i] = c.Mul
+		addSpans[i] = c.Add
+	}
+	sumEvents := map[int64][]fault.Event{}
+	for _, ev := range events {
+		spans := addSpans
+		if ev.Class == fault.OpMul {
+			spans = mulSpans
+		}
+		op := ev.Op
+		routed := false
+		for i, span := range spans {
+			if op < span {
+				rebased := ev
+				rebased.Op = op
+				sc.unitEvs[i] = append(sc.unitEvs[i], rebased)
+				routed = true
+				break
+			}
+			op -= span
+		}
+		if !routed {
+			if ev.Class != fault.OpAdd {
+				panic(fmt.Sprintf("winograd: mul event index %d beyond census", ev.Op))
+			}
+			rebased := ev
+			rebased.Op = op
+			sumEvents[op/l.sumAddsPerOut()] = append(sumEvents[op/l.sumAddsPerOut()], rebased)
+		}
+	}
+	return sc.unitEvs, sumEvents
+}
+
+// ForwardFaultyCtx computes the layer with fault events applied bit-exactly,
+// drawing every buffer from sc. Results are bit-identical to ForwardFaulty;
+// the returned tensor aliases sc and is valid until the next call with the
+// same scratch.
+func (l *Layer) ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, events []fault.Event) *tensor.QTensor {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if in.Shape.C != l.InC {
 		panic(fmt.Sprintf("winograd: input channels %d != %d", in.Shape.C, l.InC))
 	}
 	uin := l.unitInShape(in.Shape)
 	outShape := l.OutShape(in.Shape)
 
-	// Route events to units / summation segment.
-	unitEvents := make([][]fault.Event, len(l.units))
-	var sumEvents map[int64][]fault.Event
-	if len(events) > 0 {
-		var mulSpans, addSpans []int64
-		for _, u := range l.units {
-			c := u.p.Census(uin)
-			mulSpans = append(mulSpans, c.Mul)
-			addSpans = append(addSpans, c.Add)
-		}
-		sumEvents = map[int64][]fault.Event{}
-		for _, ev := range events {
-			spans := addSpans
-			if ev.Class == fault.OpMul {
-				spans = mulSpans
-			}
-			op := ev.Op
-			routed := false
-			for i, span := range spans {
-				if op < span {
-					rebased := ev
-					rebased.Op = op
-					unitEvents[i] = append(unitEvents[i], rebased)
-					routed = true
-					break
-				}
-				op -= span
-			}
-			if !routed {
-				if ev.Class != fault.OpAdd {
-					panic(fmt.Sprintf("winograd: mul event index %d beyond census", ev.Op))
-				}
-				rebased := ev
-				rebased.Op = op
-				sumEvents[op/l.sumAddsPerOut()] = append(sumEvents[op/l.sumAddsPerOut()], rebased)
-			}
-		}
-	}
+	unitEvents, sumEvents := l.routeEvents(sc, uin, events)
 
 	// Run units and sum in the accumulator domain.
-	acc := make([]int64, outShape.Elems())
+	acc := i64(&sc.acc, outShape.Elems())
 	shift := in.Fmt.Frac + l.WFrac + l.Tile.FracExtra - l.OutFmt.Frac
-	biasScale := float64(int64(1) << uint(in.Fmt.Frac+l.WFrac+l.Tile.FracExtra))
 	perOut := l.sumAddsPerOut()
+	if len(sc.gather) != len(l.units) {
+		sc.gather = make([]*tensor.QTensor, len(l.units))
+	}
 
 	for ui, u := range l.units {
-		g := l.gather(in, u, uin)
-		ua, us := u.p.ForwardAcc(g, unitEvents[ui])
+		if sc.gather[ui] == nil || sc.gather[ui].Shape != uin || sc.gather[ui].Fmt != in.Fmt {
+			sc.gather[ui] = tensor.NewQ(uin, in.Fmt)
+		}
+		g := l.gather(in, u, uin, sc.gather[ui])
+		var uevs []fault.Event
+		if unitEvents != nil {
+			uevs = unitEvents[ui]
+		}
+		ua, us := u.p.forwardAcc(&sc.core, g, uevs)
 		if us != outShape {
 			panic(fmt.Sprintf("winograd: unit output %v != layer output %v", us, outShape))
 		}
 		if ui == 0 {
 			copy(acc, ua)
+			continue
+		}
+		if sumEvents == nil {
+			for i, a := range ua {
+				acc[i] += a
+			}
 			continue
 		}
 		step := int64(ui - 1)
@@ -281,24 +388,33 @@ func (l *Layer) ForwardFaulty(in *tensor.QTensor, events []fault.Event) *tensor.
 			acc[i] = applyAdd(acc[i], ua[i], filterStep(evs, int64(i)*perOut+step))
 		}
 	}
-	if l.BiasF != nil {
-		step := int64(len(l.units) - 1)
+	if bias := l.accumBias(sc, in.Fmt); bias != nil {
 		outs := outShape.H * outShape.W
-		for i := range acc {
-			oc := (i / outs) % outShape.C
-			b := l.BiasF[oc] * biasScale
-			var bi int64
-			if b >= 0 {
-				bi = int64(b + 0.5)
-			} else {
-				bi = int64(b - 0.5)
+		if sumEvents == nil {
+			i := 0
+			for n := 0; n < outShape.N; n++ {
+				for oc := 0; oc < outShape.C; oc++ {
+					b := bias[oc]
+					for e := 0; e < outs; e++ {
+						acc[i] += b
+						i++
+					}
+				}
 			}
-			evs := sumEvents[int64(i)]
-			acc[i] = applyAdd(acc[i], bi, filterStep(evs, int64(i)*perOut+step))
+		} else {
+			step := int64(len(l.units) - 1)
+			for i := range acc {
+				oc := (i / outs) % outShape.C
+				evs := sumEvents[int64(i)]
+				acc[i] = applyAdd(acc[i], bias[oc], filterStep(evs, int64(i)*perOut+step))
+			}
 		}
 	}
 
-	out := tensor.NewQ(outShape, l.OutFmt)
+	if sc.out == nil || sc.out.Shape != outShape || sc.out.Fmt != l.OutFmt {
+		sc.out = tensor.NewQ(outShape, l.OutFmt)
+	}
+	out := sc.out
 	for i, a := range acc {
 		out.Data[i] = l.OutFmt.RequantizeShift(a, shift)
 	}

@@ -161,11 +161,20 @@ type System struct {
 // New builds a system: the scaled quantized network with deterministic
 // weights, a synthetic evaluation set, and paper-scale fault intensities.
 func New(cfg Config) (*System, error) {
+	if cfg.InputSize < 0 {
+		return nil, fmt.Errorf("winofault: InputSize %d is negative (0 means the default, %d)", cfg.InputSize, 32)
+	}
 	cfg.normalize()
 	scale := models.Options{WidthMult: cfg.WidthMult, InputSize: cfg.InputSize}
 	arch, err := models.ByName(cfg.Model, scale)
 	if err != nil {
 		return nil, err
+	}
+	// Reject undersized geometry here with a descriptive error; otherwise a
+	// too-small InputSize panics deep inside the convolution engines.
+	if err := models.ValidateGeometry(arch); err != nil {
+		return nil, fmt.Errorf("winofault: config %q input %dx%d: %w",
+			cfg.Model, cfg.InputSize, cfg.InputSize, err)
 	}
 	full, _ := models.ByName(cfg.Model, models.Options{})
 	f := cfg.format()
