@@ -10,6 +10,7 @@
 package winofault
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -160,7 +161,7 @@ func benchSweepWorkers(b *testing.B, workers int) {
 	opts := faultsim.Options{Seed: 1, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runner.Sweep(bers, opts, 2)
+		runner.Sweep(context.Background(), bers, opts, 2)
 	}
 }
 

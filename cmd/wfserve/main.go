@@ -1,0 +1,83 @@
+// Command wfserve is the campaign server: it queues fault-injection
+// campaigns submitted over HTTP+JSON, runs them on the deterministic
+// faultsim scheduler, and serves identical requests from a
+// content-addressed result cache — bit-identically and without re-running
+// the campaign.
+//
+// Usage:
+//
+//	wfserve -addr :8077 -cache-dir /var/lib/wfserve
+//
+//	curl -s -X POST 'localhost:8077/campaigns?wait=1' -d '{
+//	    "model": "vgg19", "engine": "winograd",
+//	    "bers": [1e-10, 1e-9, 1e-8]}'
+//
+// See DESIGN.md "Service layer" for the API and cache-key schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	cacheDir := flag.String("cache-dir", "", "result cache persistence directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache capacity")
+	queue := flag.Int("queue", 16, "bounded job queue depth")
+	jobs := flag.Int("jobs", 1, "campaigns executed concurrently")
+	workers := flag.Int("workers", 0, "per-campaign faultsim worker budget (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight campaigns")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Jobs:         *jobs,
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q)",
+		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		log.Printf("wfserve: %v: draining (budget %s)", s, *drain)
+	}
+
+	// Stop intake first (new submissions get 503), then let in-flight
+	// campaigns finish inside the drain budget; past it they are canceled.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("wfserve: http shutdown: %v", err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		log.Printf("wfserve: drain expired, in-flight campaigns canceled: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("wfserve: drained cleanly")
+}

@@ -84,10 +84,9 @@ func main() {
 	fmt.Printf("%s / %s / %s / %s semantics\n", *model, *engine, *prec, *semantics)
 	fmt.Printf("ops per image: scaled %.3gM mul + %.3gM add; full-size %.3gG mul + %.3gG add\n",
 		float64(sm)/1e6, float64(sa)/1e6, float64(fm)/1e9, float64(fa)/1e9)
-	fmt.Printf("%-12s %s\n", "BER", "accuracy%")
-	for _, p := range sys.Sweep(rates) {
-		fmt.Printf("%-12.3g %.2f\n", p.BER, p.Accuracy*100)
-	}
+	// The table renderer is shared with the wfserve text endpoint so CI can
+	// diff server and CLI output byte-for-byte.
+	winofault.FormatSweep(os.Stdout, sys.Sweep(rates))
 
 	if *layers {
 		mid := rates[len(rates)/2]

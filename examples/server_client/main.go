@@ -1,0 +1,77 @@
+// Server + client: stand up the wfserve campaign service in-process, submit
+// the same winograd VGG19 sweep twice through the facade client, and watch
+// the second submission come back from the content-addressed cache —
+// bit-identical, without re-running a single Monte-Carlo round.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	winofault "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	svc, err := service.New(service.Config{Jobs: 1, QueueDepth: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+
+	client, err := winofault.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	req := winofault.CampaignRequest{
+		Model:     "vgg19",
+		Engine:    "winograd",
+		InputSize: 16,
+		Samples:   8,
+		BERs:      []float64{1e-10, 1e-9, 1e-8},
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	res1, st1, err := client.Sweep(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	res2, st2, err := client.Sweep(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := time.Since(start)
+
+	fmt.Printf("campaign %.12s…: first run cached=%v (%v), second cached=%v (%v)\n\n",
+		st1.ID, st1.Cached, cold.Round(time.Millisecond), st2.Cached, warm.Round(time.Millisecond))
+	winofault.FormatSweep(os.Stdout, res1.Points)
+
+	for i := range res1.Points {
+		if res1.Points[i] != res2.Points[i] {
+			log.Fatalf("cache broke determinism: %+v vs %+v", res1.Points[i], res2.Points[i])
+		}
+	}
+	fmt.Println("\ncached sweep is bit-identical to the freshly computed one")
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	if err := svc.Close(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}

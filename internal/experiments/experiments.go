@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -179,7 +180,7 @@ func (r *rig) opts(cfg Config) faultsim.Options {
 
 // accuracySeries sweeps BER and returns a percent-accuracy series.
 func (r *rig) accuracySeries(cfg Config, name string, bers []float64, opts faultsim.Options) Series {
-	pts := r.runner.Sweep(bers, opts, cfg.Rounds)
+	pts := r.runner.Sweep(context.Background(), bers, opts, cfg.Rounds)
 	s := Series{Name: name, X: bers}
 	for _, p := range pts {
 		s.Y = append(s.Y, p.Accuracy*100)

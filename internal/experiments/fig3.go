@@ -1,6 +1,10 @@
 package experiments
 
-import "repro/internal/nn"
+import (
+	"context"
+
+	"repro/internal/nn"
+)
 
 // Fig3 reproduces Figure 3: VGG19 (int16, CIFAR-100) accuracy with exactly
 // one layer kept fault-free while the rest of the network is injected at a
@@ -14,8 +18,9 @@ func Fig3(cfg Config) []*Figure {
 	wg := makeRig(cfg, "vgg19", nn.Winograd, int16Fmt)
 	fig3BER := stressBER(st, st.opts(cfg), cfg.Rounds)
 
-	stBase, stPer := st.runner.LayerSensitivity(fig3BER, st.opts(cfg), cfg.Rounds)
-	wgBase, wgPer := wg.runner.LayerSensitivity(fig3BER, wg.opts(cfg), cfg.Rounds)
+	ctx := context.Background()
+	stBase, stPer := st.runner.LayerSensitivity(ctx, fig3BER, st.opts(cfg), cfg.Rounds)
+	wgBase, wgPer := wg.runner.LayerSensitivity(ctx, fig3BER, wg.opts(cfg), cfg.Rounds)
 
 	// The paper's layer axis covers the 16 spatial convolutions; FC layers
 	// (also ConvOps internally) are excluded.

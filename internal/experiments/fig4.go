@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/faultsim"
 	"repro/internal/fixed"
 	"repro/internal/nn"
@@ -56,7 +57,7 @@ func Fig4(cfg Config) []*Figure {
 			mulFree := r.opts(cfg)
 			mulFree.MulFaultFree = true
 			// Both op-class campaigns share one scheduler batch.
-			accs := r.runner.AccuracyBatch([]faultsim.Campaign{
+			accs := r.runner.AccuracyBatch(context.Background(), []faultsim.Campaign{
 				{BER: c.BER, Opts: addFree},
 				{BER: c.BER, Opts: mulFree},
 			}, cfg.Rounds)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/nn"
@@ -19,7 +20,7 @@ const fig5StartBER = 3e-10
 func stressBER(r *rig, opts faultsim.Options, rounds int) float64 {
 	ber := fig5StartBER
 	for i := 0; i < 14; i++ {
-		acc := r.runner.Accuracy(ber, opts, rounds)
+		acc := r.runner.Accuracy(context.Background(), ber, opts, rounds)
 		switch {
 		case acc > 0.65:
 			ber *= 3
@@ -75,8 +76,9 @@ func fig5DataUncached(cfg Config) ([]fig5Row, float64) {
 	stOpts, wgOpts := st.opts(cfg), wg.opts(cfg)
 	fig5BER := stressBER(st, stOpts, cfg.Rounds)
 
-	stVF := tmr.Vulnerability(st.runner, fig5BER, stOpts, cfg.Rounds)
-	wgVF := tmr.Vulnerability(wg.runner, fig5BER, wgOpts, cfg.Rounds)
+	ctx := context.Background()
+	stVF := tmr.Vulnerability(ctx, st.runner, fig5BER, stOpts, cfg.Rounds)
+	wgVF := tmr.Vulnerability(ctx, wg.runner, fig5BER, wgOpts, cfg.Rounds)
 	stConv := st.runner.Net.ConvNodes()
 	wgConv := wg.runner.Net.ConvNodes()
 
@@ -85,7 +87,7 @@ func fig5DataUncached(cfg Config) ([]fig5Row, float64) {
 	for _, tp := range fig5Targets {
 		target := tp / fig5Original
 		stPlan := (&tmr.Optimizer{Runner: st.runner, Opts: stOpts, BER: fig5BER,
-			Rounds: cfg.Rounds, VF: stVF, Step: 0.25, Initial: stPrev}).Optimize(target, 600)
+			Rounds: cfg.Rounds, VF: stVF, Step: 0.25, Initial: stPrev}).Optimize(ctx, target, 600)
 		stPrev = stPlan.Protection
 
 		// WG-Conv-W/O-AFT: replay the ST protection decision on the winograd
@@ -97,7 +99,7 @@ func fig5DataUncached(cfg Config) ([]fig5Row, float64) {
 		}
 		woOpts := wgOpts
 		woOpts.Protection = woPlan.Protection
-		woAcc := wg.runner.Accuracy(fig5BER, woOpts, cfg.Rounds)
+		woAcc := wg.runner.Accuracy(context.Background(), fig5BER, woOpts, cfg.Rounds)
 
 		// WG-Conv-W/AFT: optimize directly against the winograd network.
 		// The aware designer's strategy set also contains the replayed
@@ -105,7 +107,7 @@ func fig5DataUncached(cfg Config) ([]fig5Row, float64) {
 		// cheaply than the search result, awareness takes it — awareness is
 		// strictly additional information and never costs more.
 		wPlan := (&tmr.Optimizer{Runner: wg.runner, Opts: wgOpts, BER: fig5BER,
-			Rounds: cfg.Rounds, VF: wgVF, Step: 0.25, Initial: wPrev}).Optimize(target, 600)
+			Rounds: cfg.Rounds, VF: wgVF, Step: 0.25, Initial: wPrev}).Optimize(ctx, target, 600)
 		wPrev = wPlan.Protection
 		wOverhead := wPlan.Overhead(wg.intensity)
 		if woOH := woPlan.Overhead(wg.intensity); woAcc >= target && woOH < wOverhead {

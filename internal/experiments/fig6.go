@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/nn"
 	"repro/internal/volt"
 )
@@ -13,7 +14,7 @@ var curveBERs = []float64{1e-12, 1e-11, 1e-10, 3e-10, 1e-9, 3e-9, 1e-8, 1e-7}
 // Monte-Carlo budget (the voltage explorer is sensitive to the curve's top
 // region) and projects it onto the monotone non-increasing cone.
 func accuracyCurve(cfg Config, r *rig) *volt.AccuracyCurve {
-	pts := r.runner.Sweep(curveBERs, r.opts(cfg), 3*cfg.Rounds)
+	pts := r.runner.Sweep(context.Background(), curveBERs, r.opts(cfg), 3*cfg.Rounds)
 	accs := make([]float64, len(pts))
 	for i, p := range pts {
 		accs[i] = p.Accuracy

@@ -1,0 +1,78 @@
+package faultsim
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestCancellationStopsScheduling: canceling the context mid-campaign must
+// stop the scheduler from claiming further (campaign, round) units instead
+// of draining the whole sweep.
+func TestCancellationStopsScheduling(t *testing.T) {
+	st, _, stInt, _ := testRig(t, 4)
+	bers := []float64{1e-9, 3e-9, 1e-8}
+	const rounds = 4
+	total := len(bers) * rounds
+
+	for _, workers := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var executed atomic.Int64
+		opts := Options{
+			Semantics: fault.OperandFlip, Seed: 21, Intensity: stInt, Workers: workers,
+			Progress: func(done, tot int) {
+				if tot != total {
+					t.Errorf("workers=%d: progress total %d, want %d", workers, tot, total)
+				}
+				if executed.Add(1) >= 2 {
+					cancel()
+				}
+			},
+		}
+		st.Sweep(ctx, bers, opts, rounds)
+		if err := ctx.Err(); err == nil {
+			t.Fatalf("workers=%d: context not canceled", workers)
+		}
+		// After the cancel at unit 2, each worker may finish its in-flight
+		// unit but must not claim another.
+		if got, max := int(executed.Load()), 2+workers; got > max {
+			t.Errorf("workers=%d: %d units ran after cancellation (want <= %d)", workers, got, max)
+		}
+		cancel()
+	}
+}
+
+// TestProgressReportsEveryUnit: an uncancelled campaign reports monotonically
+// increasing progress that ends exactly at the unit total, and progress
+// observation does not change the measured accuracy.
+func TestProgressReportsEveryUnit(t *testing.T) {
+	st, _, stInt, _ := testRig(t, 4)
+	const rounds = 3
+	bers := []float64{1e-9, 1e-8}
+
+	quiet := Options{Semantics: fault.OperandFlip, Seed: 22, Intensity: stInt, Workers: 1}
+	want := st.Sweep(context.Background(), bers, quiet, rounds)
+
+	var calls atomic.Int64
+	observed := quiet
+	observed.Progress = func(done, total int) {
+		calls.Add(1)
+		if total != len(bers)*rounds {
+			t.Errorf("progress total %d, want %d", total, len(bers)*rounds)
+		}
+		if done < 1 || done > total {
+			t.Errorf("progress done %d out of range [1,%d]", done, total)
+		}
+	}
+	got := st.Sweep(context.Background(), bers, observed, rounds)
+	if int(calls.Load()) != len(bers)*rounds {
+		t.Errorf("progress called %d times, want %d", calls.Load(), len(bers)*rounds)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("observing progress changed results: %+v vs %+v", want[i], got[i])
+		}
+	}
+}

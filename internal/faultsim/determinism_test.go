@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -36,9 +37,9 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	for name, rc := range rigs {
 		r := rc.r
 		opts := Options{Seed: 42, Intensity: rc.intensity}
-		ref := r.Sweep(bers, withWorkers(opts, 1), 3)
+		ref := r.Sweep(context.Background(), bers, withWorkers(opts, 1), 3)
 		for _, w := range workerCounts[1:] {
-			got := r.Sweep(bers, withWorkers(opts, w), 3)
+			got := r.Sweep(context.Background(), bers, withWorkers(opts, w), 3)
 			if len(got) != len(ref) {
 				t.Fatalf("%s: workers=%d returned %d points, want %d", name, w, len(got), len(ref))
 			}
@@ -61,9 +62,9 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 func TestLayerSensitivityDeterministicAcrossWorkers(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 4)
 	opts := Options{Seed: 7, Intensity: stInt}
-	refBase, refPer := st.LayerSensitivity(2e-9, withWorkers(opts, 1), 2)
+	refBase, refPer := st.LayerSensitivity(context.Background(), 2e-9, withWorkers(opts, 1), 2)
 	for _, w := range workerCounts[1:] {
-		base, per := st.LayerSensitivity(2e-9, withWorkers(opts, w), 2)
+		base, per := st.LayerSensitivity(context.Background(), 2e-9, withWorkers(opts, w), 2)
 		if base != refBase {
 			t.Errorf("workers=%d baseline %v != serial %v", w, base, refBase)
 		}
@@ -96,7 +97,7 @@ func TestAccuracyBatchMatchesIndividual(t *testing.T) {
 	for _, w := range workerCounts {
 		got := r4(st, cs, w)
 		for i, c := range cs {
-			want := st.Accuracy(c.BER, withWorkers(c.Opts, 1), 2)
+			want := st.Accuracy(context.Background(), c.BER, withWorkers(c.Opts, 1), 2)
 			if got[i] != want {
 				t.Errorf("workers=%d campaign %d accuracy %v, want %v", w, i, got[i], want)
 			}
@@ -109,7 +110,7 @@ func r4(r *Runner, cs []Campaign, workers int) []float64 {
 	for i, c := range cs {
 		batch[i] = Campaign{BER: c.BER, Opts: withWorkers(c.Opts, workers)}
 	}
-	return r.AccuracyBatch(batch, 2)
+	return r.AccuracyBatch(context.Background(), batch, 2)
 }
 
 // TestRunnerConcurrentCallers: distinct goroutines sharing one Runner (each
@@ -118,14 +119,14 @@ func r4(r *Runner, cs []Campaign, workers int) []float64 {
 func TestRunnerConcurrentCallers(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 4)
 	opts := Options{Seed: 11, Intensity: stInt, Workers: 2}
-	want := st.Accuracy(2e-9, withWorkers(opts, 1), 2)
+	want := st.Accuracy(context.Background(), 2e-9, withWorkers(opts, 1), 2)
 	var wgrp sync.WaitGroup
 	errs := make(chan error, 4)
 	for g := 0; g < 4; g++ {
 		wgrp.Add(1)
 		go func() {
 			defer wgrp.Done()
-			if got := st.Accuracy(2e-9, opts, 2); got != want {
+			if got := st.Accuracy(context.Background(), 2e-9, opts, 2); got != want {
 				errs <- fmt.Errorf("concurrent caller got %v, want %v", got, want)
 			}
 		}()
@@ -145,8 +146,8 @@ func TestRunUnitsCoversAllUnitsOnce(t *testing.T) {
 		const n = 37
 		counts := make([]int32, n)
 		var mu sync.Mutex
-		st.runUnits(w, n, func(ctx *nn.ExecContext, u int) {
-			if ctx == nil {
+		st.runUnits(context.Background(), w, n, func(ec *nn.ExecContext, u int) {
+			if ec == nil {
 				t.Error("nil ExecContext") // runs on a worker goroutine: Error, not Fatal
 			}
 			mu.Lock()
@@ -172,7 +173,7 @@ func TestRunUnitsPropagatesPanic(t *testing.T) {
 					t.Errorf("workers=%d: panic did not propagate", w)
 				}
 			}()
-			st.runUnits(w, 8, func(ctx *nn.ExecContext, u int) {
+			st.runUnits(context.Background(), w, 8, func(ec *nn.ExecContext, u int) {
 				if u == 3 {
 					panic("boom")
 				}

@@ -11,7 +11,9 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/conv"
 	"repro/internal/fault"
@@ -48,6 +50,13 @@ type Options struct {
 	// for every worker count: each (campaign, round) work unit derives its
 	// own rng.Stream from the seed, independent of scheduling (see pool.go).
 	Workers int
+	// Progress, when set, is called after every completed (campaign, round)
+	// work unit with the number of finished units and the batch total. It is
+	// observational only — results never depend on it — and may be invoked
+	// concurrently from worker goroutines, so it must be goroutine-safe.
+	// When a batch mixes several Options values, the first non-nil Progress
+	// in campaign order is used for the whole batch.
+	Progress func(done, total int)
 }
 
 // Runner evaluates one network against one evaluation input set.
@@ -134,7 +143,7 @@ type Campaign struct {
 // evaluation samples agree with the golden predictions. All randomness is
 // derived from (c.Opts.Seed, round) alone, so the result is independent of
 // which worker executes it and in what order.
-func (r *Runner) roundAgree(ctx *nn.ExecContext, c *Campaign, convSet map[int]struct{}, round int) int {
+func (r *Runner) roundAgree(ec *nn.ExecContext, c *Campaign, convSet map[int]struct{}, round int) int {
 	inj := &injector{
 		opts:    &c.Opts,
 		model:   fault.Model{BER: c.BER, Semantics: c.Opts.Semantics},
@@ -143,7 +152,7 @@ func (r *Runner) roundAgree(ctx *nn.ExecContext, c *Campaign, convSet map[int]st
 		fmt:     r.Inputs.Fmt,
 		convSet: convSet,
 	}
-	preds := nn.Argmax(r.Net.ForwardCtx(ctx, r.Inputs, inj))
+	preds := nn.Argmax(r.Net.ForwardCtx(ec, r.Inputs, inj))
 	agree := 0
 	for i, p := range preds {
 		if p == r.golden[i] {
@@ -160,7 +169,12 @@ func (r *Runner) roundAgree(ctx *nn.ExecContext, c *Campaign, convSet map[int]st
 // Workers option in the batch; per-unit agreement counts are written to
 // indexed slots and reduced in index order afterwards, so the returned
 // accuracies are bit-identical for any worker count.
-func (r *Runner) AccuracyBatch(cs []Campaign, rounds int) []float64 {
+//
+// Canceling ctx stops the scheduler from claiming further units; the call
+// returns promptly with partial (meaningless) accuracies. Callers that can
+// be canceled must check ctx.Err() before using the result — every caller
+// that caches or publishes results does.
+func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) []float64 {
 	if rounds < 1 {
 		rounds = 1
 	}
@@ -197,9 +211,23 @@ func (r *Runner) AccuracyBatch(cs []Campaign, rounds int) []float64 {
 		}
 	}
 
+	// Progress is batch-level: the first campaign that asks for it observes
+	// every unit of the batch (campaigns in a batch complete together).
+	var progress func(done, total int)
+	for i := range cs {
+		if cs[i].Opts.Progress != nil {
+			progress = cs[i].Opts.Progress
+			break
+		}
+	}
+
 	agree := make([]int, len(units))
-	r.runUnits(workers, len(units), func(ctx *nn.ExecContext, u int) {
-		agree[u] = r.roundAgree(ctx, &cs[units[u].c], convSet, units[u].round)
+	var completed atomic.Int64
+	r.runUnits(ctx, workers, len(units), func(ec *nn.ExecContext, u int) {
+		agree[u] = r.roundAgree(ec, &cs[units[u].c], convSet, units[u].round)
+		if progress != nil {
+			progress(int(completed.Add(1)), len(units))
+		}
 	})
 
 	out := make([]float64, len(cs))
@@ -222,19 +250,19 @@ func (r *Runner) AccuracyBatch(cs []Campaign, rounds int) []float64 {
 // Accuracy measures golden-agreement accuracy at one bit error rate over the
 // given number of Monte-Carlo rounds. The rounds run on the campaign
 // scheduler's worker pool (opts.Workers).
-func (r *Runner) Accuracy(ber float64, opts Options, rounds int) float64 {
-	return r.AccuracyBatch([]Campaign{{BER: ber, Opts: opts}}, rounds)[0]
+func (r *Runner) Accuracy(ctx context.Context, ber float64, opts Options, rounds int) float64 {
+	return r.AccuracyBatch(ctx, []Campaign{{BER: ber, Opts: opts}}, rounds)[0]
 }
 
 // Sweep evaluates accuracy across a BER range. All (BER point, round) units
 // run on one worker pool; out[i] always corresponds to bers[i] regardless of
 // completion order.
-func (r *Runner) Sweep(bers []float64, opts Options, rounds int) []Point {
+func (r *Runner) Sweep(ctx context.Context, bers []float64, opts Options, rounds int) []Point {
 	cs := make([]Campaign, len(bers))
 	for i, ber := range bers {
 		cs[i] = Campaign{BER: ber, Opts: opts}
 	}
-	accs := r.AccuracyBatch(cs, rounds)
+	accs := r.AccuracyBatch(ctx, cs, rounds)
 	out := make([]Point, len(bers))
 	for i, ber := range bers {
 		out[i] = Point{BER: ber, Accuracy: accs[i]}
@@ -255,7 +283,7 @@ type Point struct {
 // (paper Section 4.1). The baseline and all per-layer campaigns are
 // scheduled as one batch, so the whole analysis saturates the worker pool;
 // perLayer is keyed by node index and independent of evaluation order.
-func (r *Runner) LayerSensitivity(ber float64, opts Options, rounds int) (base float64, perLayer map[int]float64) {
+func (r *Runner) LayerSensitivity(ctx context.Context, ber float64, opts Options, rounds int) (base float64, perLayer map[int]float64) {
 	conv := r.Net.ConvNodes()
 	cs := make([]Campaign, 1+len(conv))
 	cs[0] = Campaign{BER: ber, Opts: opts}
@@ -267,7 +295,7 @@ func (r *Runner) LayerSensitivity(ber float64, opts Options, rounds int) (base f
 		}
 		cs[1+i] = Campaign{BER: ber, Opts: o}
 	}
-	accs := r.AccuracyBatch(cs, rounds)
+	accs := r.AccuracyBatch(ctx, cs, rounds)
 	perLayer = make(map[int]float64, len(conv))
 	for i, li := range conv {
 		perLayer[li] = accs[1+i]

@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -30,7 +31,7 @@ func testRig(t *testing.T, n int) (st, wg *Runner, stInt, wgInt []fault.Census) 
 
 func TestZeroBERIsPerfect(t *testing.T) {
 	st, _, _, _ := testRig(t, 4)
-	if acc := st.Accuracy(0, Options{Seed: 1}, 2); acc != 1 {
+	if acc := st.Accuracy(context.Background(), 0, Options{Seed: 1}, 2); acc != 1 {
 		t.Errorf("accuracy at BER 0 = %v, want 1", acc)
 	}
 }
@@ -38,8 +39,8 @@ func TestZeroBERIsPerfect(t *testing.T) {
 func TestAccuracyDegradesWithBER(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 8)
 	opts := Options{Semantics: fault.OperandFlip, Seed: 2, Intensity: stInt}
-	low := st.Accuracy(1e-11, opts, 4)
-	high := st.Accuracy(1e-7, opts, 4)
+	low := st.Accuracy(context.Background(), 1e-11, opts, 4)
+	high := st.Accuracy(context.Background(), 1e-7, opts, 4)
 	if low < 0.8 {
 		t.Errorf("accuracy at BER 1e-11 = %v, want near 1", low)
 	}
@@ -59,8 +60,8 @@ func TestWinogradBeatsDirect(t *testing.T) {
 	var stSum, wgSum float64
 	bers := []float64{1e-9, 3e-9, 1e-8}
 	for _, ber := range bers {
-		stSum += st.Accuracy(ber, Options{Semantics: fault.OperandFlip, Seed: 3, Intensity: stInt}, 6)
-		wgSum += wg.Accuracy(ber, Options{Semantics: fault.OperandFlip, Seed: 3, Intensity: wgInt}, 6)
+		stSum += st.Accuracy(context.Background(), ber, Options{Semantics: fault.OperandFlip, Seed: 3, Intensity: stInt}, 6)
+		wgSum += wg.Accuracy(context.Background(), ber, Options{Semantics: fault.OperandFlip, Seed: 3, Intensity: wgInt}, 6)
 	}
 	if wgSum <= stSum {
 		t.Errorf("winograd accuracy sum %v not above direct %v", wgSum, stSum)
@@ -78,8 +79,8 @@ func TestMulMoreVulnerableThanAdd(t *testing.T) {
 	mulFree.MulFaultFree = true
 	addFree := base
 	addFree.AddFaultFree = true
-	accMulFree := st.Accuracy(ber, mulFree, 6)
-	accAddFree := st.Accuracy(ber, addFree, 6)
+	accMulFree := st.Accuracy(context.Background(), ber, mulFree, 6)
+	accAddFree := st.Accuracy(context.Background(), ber, addFree, 6)
 	if accMulFree <= accAddFree {
 		t.Errorf("fault-free muls (%v) did not beat fault-free adds (%v)", accMulFree, accAddFree)
 	}
@@ -92,8 +93,8 @@ func TestNeuronLevelCannotDistinguish(t *testing.T) {
 	neurons := models.NeuronIntensityFor(models.VGG19(models.Tiny), models.VGG19(models.Options{}))
 	for _, ber := range []float64{1e-9, 1e-8} {
 		opts := Options{Semantics: fault.NeuronFlip, Seed: 5, NeuronIntensity: neurons}
-		a := st.Accuracy(ber, opts, 6)
-		b := wg.Accuracy(ber, opts, 6)
+		a := st.Accuracy(context.Background(), ber, opts, 6)
+		b := wg.Accuracy(context.Background(), ber, opts, 6)
 		if d := a - b; d > 0.1 || d < -0.1 {
 			t.Errorf("BER %v: neuron-level FI separates engines: ST %v vs WG %v", ber, a, b)
 		}
@@ -107,7 +108,7 @@ func TestFaultFreeEverythingIsPerfect(t *testing.T) {
 		ff[i] = true
 	}
 	opts := Options{Semantics: fault.OperandFlip, Seed: 6, Intensity: stInt, FaultFree: ff}
-	if acc := st.Accuracy(1e-7, opts, 3); acc != 1 {
+	if acc := st.Accuracy(context.Background(), 1e-7, opts, 3); acc != 1 {
 		t.Errorf("fully fault-free accuracy = %v, want 1", acc)
 	}
 }
@@ -119,7 +120,7 @@ func TestFullProtectionIsPerfect(t *testing.T) {
 		prot[i] = fault.Protection{MulFrac: 1, AddFrac: 1}
 	}
 	opts := Options{Semantics: fault.OperandFlip, Seed: 7, Intensity: stInt, Protection: prot}
-	if acc := st.Accuracy(1e-7, opts, 3); acc != 1 {
+	if acc := st.Accuracy(context.Background(), 1e-7, opts, 3); acc != 1 {
 		t.Errorf("fully protected accuracy = %v, want 1", acc)
 	}
 }
@@ -127,12 +128,12 @@ func TestFullProtectionIsPerfect(t *testing.T) {
 func TestProtectionImprovesAccuracy(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 12)
 	const ber = 1e-8
-	unprot := st.Accuracy(ber, Options{Semantics: fault.OperandFlip, Seed: 8, Intensity: stInt}, 6)
+	unprot := st.Accuracy(context.Background(), ber, Options{Semantics: fault.OperandFlip, Seed: 8, Intensity: stInt}, 6)
 	prot := map[int]fault.Protection{}
 	for i := range st.Net.Nodes {
 		prot[i] = fault.Protection{MulFrac: 0.9, AddFrac: 0.9}
 	}
-	protected := st.Accuracy(ber, Options{Semantics: fault.OperandFlip, Seed: 8, Intensity: stInt, Protection: prot}, 6)
+	protected := st.Accuracy(context.Background(), ber, Options{Semantics: fault.OperandFlip, Seed: 8, Intensity: stInt, Protection: prot}, 6)
 	if protected < unprot {
 		t.Errorf("90%% protection did not help: %v vs %v", protected, unprot)
 	}
@@ -140,7 +141,7 @@ func TestProtectionImprovesAccuracy(t *testing.T) {
 
 func TestLayerSensitivityShape(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 8)
-	base, per := st.LayerSensitivity(3e-9, Options{Semantics: fault.OperandFlip, Seed: 9, Intensity: stInt}, 3)
+	base, per := st.LayerSensitivity(context.Background(), 3e-9, Options{Semantics: fault.OperandFlip, Seed: 9, Intensity: stInt}, 3)
 	if len(per) != len(st.Net.ConvNodes()) {
 		t.Fatalf("per-layer results %d, want %d", len(per), len(st.Net.ConvNodes()))
 	}
@@ -163,8 +164,8 @@ func TestLayerSensitivityShape(t *testing.T) {
 func TestDeterministicAccuracy(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 6)
 	opts := Options{Semantics: fault.OperandFlip, Seed: 10, Intensity: stInt}
-	a := st.Accuracy(1e-8, opts, 3)
-	b := st.Accuracy(1e-8, opts, 3)
+	a := st.Accuracy(context.Background(), 1e-8, opts, 3)
+	b := st.Accuracy(context.Background(), 1e-8, opts, 3)
 	if a != b {
 		t.Errorf("same seed produced different accuracies: %v vs %v", a, b)
 	}
@@ -172,7 +173,7 @@ func TestDeterministicAccuracy(t *testing.T) {
 
 func TestSweep(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 4)
-	pts := st.Sweep([]float64{0, 1e-9}, Options{Semantics: fault.OperandFlip, Seed: 11, Intensity: stInt}, 2)
+	pts := st.Sweep(context.Background(), []float64{0, 1e-9}, Options{Semantics: fault.OperandFlip, Seed: 11, Intensity: stInt}, 2)
 	if len(pts) != 2 || pts[0].BER != 0 || pts[0].Accuracy != 1 {
 		t.Errorf("sweep malformed: %+v", pts)
 	}

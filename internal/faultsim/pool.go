@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,12 @@ import (
 // happens on the caller's goroutine after all units finish. Determinism is
 // therefore structural, not incidental: results are bit-identical between
 // Workers=1 and Workers=N.
+//
+// Cancellation follows the same unit structure: workers re-check the context
+// before claiming each unit, so a canceled campaign stops after at most one
+// in-flight unit per worker instead of draining the whole sweep. Units that
+// were executed before the cancellation are still deterministic; the caller
+// must treat the aggregate as invalid whenever ctx.Err() != nil.
 
 // ResolvedWorkers reports the concrete worker count the scheduler will use
 // for this campaign: Workers, with 0 meaning GOMAXPROCS. Callers use it to
@@ -37,11 +44,12 @@ func resolveWorkers(workers int) int {
 }
 
 // runUnits executes fn(ctx, u) for every unit u in [0, n) across the given
-// number of workers. Each worker owns a private nn.ExecContext over the
+// number of workers, stopping early (without running the remaining units)
+// once ctx is canceled. Each worker owns a private nn.ExecContext over the
 // runner's network, so forward passes reuse per-worker state without
 // sharing any of it. A panic in any unit is captured and re-raised on the
 // calling goroutine once all workers have drained.
-func (r *Runner) runUnits(workers, n int, fn func(ctx *nn.ExecContext, u int)) {
+func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.ExecContext, u int)) {
 	if n <= 0 {
 		return
 	}
@@ -49,10 +57,16 @@ func (r *Runner) runUnits(workers, n int, fn func(ctx *nn.ExecContext, u int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
-		ctx := r.Net.NewExecContext()
+		ec := r.Net.NewExecContext()
 		for u := 0; u < n; u++ {
-			fn(ctx, u)
+			select {
+			case <-done:
+				return
+			default:
+			}
+			fn(ec, u)
 		}
 		return
 	}
@@ -74,13 +88,18 @@ func (r *Runner) runUnits(workers, n int, fn func(ctx *nn.ExecContext, u int)) {
 					next.Store(int64(n))
 				}
 			}()
-			ctx := r.Net.NewExecContext()
+			ec := r.Net.NewExecContext()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				u := int(next.Add(1)) - 1
 				if u >= n {
 					return
 				}
-				fn(ctx, u)
+				fn(ec, u)
 			}
 		}()
 	}

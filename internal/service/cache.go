@@ -1,0 +1,128 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over the
+// marshaled result bytes, optionally backed by a persistence directory with
+// one file per key. The cached bytes are served verbatim, which is what
+// makes repeated identical requests byte-identical.
+//
+// Eviction only trims memory; the on-disk copy survives and is promoted
+// back into the LRU on the next Get, so a restarted or memory-pressured
+// server still answers warm requests in O(1) campaign work.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	dir     string // "" = memory only
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache holding at most max entries in memory (min 1),
+// persisting entries under dir when it is non-empty (the directory is
+// created if needed).
+func NewCache(max int, dir string) (*Cache, error) {
+	if max < 1 {
+		max = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &Cache{max: max, ll: list.New(), entries: map[string]*list.Element{}, dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Get returns the cached bytes for key, falling back to the persistence
+// directory on a memory miss (and promoting the loaded entry).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if data, ok := c.getMemory(key); ok {
+		return data, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.insert(key, data)
+	return data, true
+}
+
+// getMemory is the I/O-free half of Get: the in-memory LRU alone, for
+// callers that hold locks they must not sleep under.
+func (c *Cache) getMemory(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).data, true
+	}
+	return nil, false
+}
+
+// Put stores the bytes for key in memory and, when persistence is enabled,
+// atomically on disk (temp file + rename, so readers never see a torn
+// entry). The disk write error, if any, is returned after the memory insert
+// — a persistence failure degrades durability, not correctness.
+func (c *Cache) Put(key string, data []byte) error {
+	c.insert(key, data)
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("service: persist %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: persist %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: persist %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: persist %s: %w", key, err)
+	}
+	return nil
+}
+
+func (c *Cache) insert(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

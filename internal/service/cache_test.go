@@ -1,0 +1,103 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d, want 2", c.Len())
+	}
+}
+
+// TestCachePersistence: entries survive both eviction and a full cache
+// rebuild when a persistence directory is configured.
+func TestCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("payload-a"))
+	c.Put("b", []byte("payload-b")) // evicts a from memory, not from disk
+	if got, ok := c.Get("a"); !ok || !bytes.Equal(got, []byte("payload-a")) {
+		t.Fatalf("evicted entry not reloaded from disk: %q %v", got, ok)
+	}
+
+	// A fresh cache over the same dir (server restart) still serves it.
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get("a"); !ok || !bytes.Equal(got, []byte("payload-a")) {
+		t.Fatalf("restart lost the entry: %q %v", got, ok)
+	}
+	if _, ok := c2.Get("nope"); ok {
+		t.Error("phantom entry")
+	}
+}
+
+// TestCachePutOverwrites: re-putting a key replaces its bytes everywhere.
+func TestCachePutOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new"))
+	if got, _ := c.Get("k"); !bytes.Equal(got, []byte("new")) {
+		t.Errorf("memory kept %q", got)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, "k.json")); err != nil || !bytes.Equal(got, []byte("new")) {
+		t.Errorf("disk kept %q (%v)", got, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("overwrite duplicated the entry: len %d", c.Len())
+	}
+}
+
+// TestCacheNoTempDroppings: atomic writes must not leave temp files behind.
+func TestCacheNoTempDroppings(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 10 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("dir has %d entries, want 10: %v", len(ents), names)
+	}
+}

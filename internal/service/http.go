@@ -1,0 +1,166 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	winofault "repro"
+)
+
+// Handler exposes the service as the wfserve HTTP+JSON API:
+//
+//	POST   /campaigns            submit (?wait=1 blocks for the result)
+//	GET    /campaigns/{id}        poll status (+result once done)
+//	GET    /campaigns/{id}/result raw result bytes; ?format=text renders the
+//	                              canonical wfsim accuracy table
+//	GET    /campaigns/{id}/events server-sent events: per-round progress,
+//	                              then the final status
+//	DELETE /campaigns/{id}        cancel an in-flight campaign
+//	GET    /healthz               liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeStatus(w http.ResponseWriter, code int, st winofault.CampaignStatus) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req winofault.CampaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := r.URL.Query().Get("wait")
+	if wait == "" || wait == "0" || wait == "false" {
+		st := j.StatusWithResult()
+		code := http.StatusAccepted
+		if st.State == winofault.StateDone {
+			code = http.StatusOK
+		}
+		writeStatus(w, code, st)
+		return
+	}
+	if _, err := j.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+		httpError(w, http.StatusRequestTimeout, fmt.Errorf("wait aborted: %w", err))
+		return
+	}
+	writeStatus(w, http.StatusOK, j.StatusWithResult())
+}
+
+func (s *Service) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeStatus(w, http.StatusOK, j.StatusWithResult())
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := j.StatusWithResult()
+	if st.State != winofault.StateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("campaign %q is %s", st.ID, st.State))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		var res winofault.CampaignResult
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		winofault.FormatSweep(w, res.Points)
+		return
+	}
+	// The cached bytes verbatim: identical campaigns get byte-identical
+	// responses, which CI diffs directly.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(st.Result)
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	updates, unsubscribe := j.Subscribe()
+	defer unsubscribe()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case st, open := <-updates:
+			if !open {
+				return
+			}
+			event := "progress"
+			if st.State == winofault.StateDone || st.State == winofault.StateFailed {
+				event = st.State
+			}
+			fmt.Fprintf(w, "event: %s\ndata: ", event)
+			enc.Encode(st) // Encode terminates the data line with \n
+			fmt.Fprint(w, "\n")
+			if canFlush {
+				fl.Flush()
+			}
+			if event != "progress" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.Cancel(j.Key)
+	writeStatus(w, http.StatusOK, j.StatusWithResult())
+}

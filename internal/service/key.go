@@ -1,0 +1,137 @@
+// Package service is the campaign service layer of the reproduction: a
+// bounded job queue in front of the faultsim engine, a content-addressed
+// result cache keyed by the canonical campaign request, and an HTTP+JSON
+// surface (cmd/wfserve) with a thin client in the winofault facade.
+//
+// Determinism is what makes the cache sound: PR 1's scheduler guarantees
+// bit-identical results for any worker count, so a campaign's identity is
+// exactly the content of its request — never who ran it, when, or with how
+// many workers. See DESIGN.md "Service layer".
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	winofault "repro"
+)
+
+// keySchema versions the canonical serialization; bump it whenever the
+// canonical string changes meaning so stale persisted entries can never be
+// served for a request they no longer describe.
+const keySchema = "wfcampaign/v1"
+
+// canonicalFloat renders a float64 in its shortest round-trip form, so every
+// textual spelling of the same value ("1e-9", "0.000000001") canonicalizes
+// identically. NaN and infinities are rejected before this is called.
+func canonicalFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Canonical returns the canonical serialization of a campaign request: the
+// platform defaults applied, enums validated, every float in shortest
+// round-trip form, protection entries sorted by layer name, and the
+// scheduling-only Workers field dropped. Two requests describe the same
+// campaign if and only if their canonical strings are equal.
+func Canonical(req winofault.CampaignRequest) (string, error) {
+	if _, err := req.SystemConfig(); err != nil {
+		return "", err
+	}
+	if len(req.BERs) == 0 {
+		return "", fmt.Errorf("service: request has no BERs")
+	}
+	for _, ber := range req.BERs {
+		if math.IsNaN(ber) || math.IsInf(ber, 0) {
+			return "", fmt.Errorf("service: BER %v is not finite", ber)
+		}
+	}
+	// Mirror Config.normalize: a request spelling a default explicitly is
+	// the same campaign as one omitting it.
+	if req.Model == "" {
+		req.Model = "vgg19"
+	}
+	if req.Engine == "" {
+		req.Engine = "direct"
+	}
+	if req.Precision == "" {
+		req.Precision = "int16"
+	}
+	if req.Semantics == "" {
+		req.Semantics = "result"
+	}
+	if req.WidthMult == 0 {
+		req.WidthMult = 0.125
+	}
+	if req.InputSize == 0 {
+		req.InputSize = 32
+	}
+	if req.Samples == 0 {
+		req.Samples = 24
+	}
+	if req.Rounds == 0 {
+		req.Rounds = 2
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", keySchema)
+	fmt.Fprintf(&b, "model=%s\n", req.Model)
+	fmt.Fprintf(&b, "engine=%s\n", req.Engine)
+	fmt.Fprintf(&b, "precision=%s\n", req.Precision)
+	fmt.Fprintf(&b, "semantics=%s\n", req.Semantics)
+	fmt.Fprintf(&b, "widthmult=%s\n", canonicalFloat(req.WidthMult))
+	fmt.Fprintf(&b, "inputsize=%d\n", req.InputSize)
+	fmt.Fprintf(&b, "samples=%d\n", req.Samples)
+	fmt.Fprintf(&b, "rounds=%d\n", req.Rounds)
+	fmt.Fprintf(&b, "seed=%d\n", req.Seed)
+	fmt.Fprintf(&b, "tilef4=%t\n", req.TileF4)
+	bers := make([]string, len(req.BERs))
+	for i, ber := range req.BERs {
+		bers[i] = canonicalFloat(ber)
+	}
+	// Sweep order is part of the result (points come back in request
+	// order), so BERs keep their order in the key.
+	fmt.Fprintf(&b, "bers=%s\n", strings.Join(bers, ","))
+	fmt.Fprintf(&b, "layers=%t\n", req.Layers)
+	names := make([]string, 0, len(req.Protection))
+	for name, fr := range req.Protection {
+		if fr == ([2]float64{}) {
+			continue // no protection at all: same campaign as an absent entry
+		}
+		if strings.ContainsAny(name, "\n|:") {
+			return "", fmt.Errorf("service: protection layer name %q contains reserved characters", name)
+		}
+		if math.IsNaN(fr[0]) || math.IsNaN(fr[1]) {
+			return "", fmt.Errorf("service: protection fractions for %q are not finite", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	prot := make([]string, len(names))
+	for i, name := range names {
+		fr := req.Protection[name]
+		prot[i] = fmt.Sprintf("%s:%s,%s", name, canonicalFloat(fr[0]), canonicalFloat(fr[1]))
+	}
+	fmt.Fprintf(&b, "protection=%s\n", strings.Join(prot, "|"))
+	return b.String(), nil
+}
+
+// Key returns the content address of a campaign request: the SHA-256 of its
+// canonical serialization, in hex. Identical campaigns — regardless of field
+// spelling, JSON key order, map iteration order or worker count — share one
+// key; any result-affecting difference changes it.
+func Key(req winofault.CampaignRequest) (string, error) {
+	canon, err := Canonical(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	winofault "repro"
+)
+
+func mustKey(t *testing.T, req winofault.CampaignRequest) string {
+	t.Helper()
+	key, err := Key(req)
+	if err != nil {
+		t.Fatalf("Key(%+v): %v", req, err)
+	}
+	return key
+}
+
+// TestKeyDefaultsAreCanonical: spelling a platform default explicitly must
+// address the same campaign as omitting it.
+func TestKeyDefaultsAreCanonical(t *testing.T) {
+	implicit := winofault.CampaignRequest{BERs: []float64{1e-9}}
+	explicit := winofault.CampaignRequest{
+		Model:     "vgg19",
+		Engine:    "direct",
+		Precision: "int16",
+		Semantics: "result",
+		WidthMult: 0.125,
+		InputSize: 32,
+		Samples:   24,
+		Rounds:    2,
+		Seed:      1,
+		BERs:      []float64{1e-9},
+	}
+	if a, b := mustKey(t, implicit), mustKey(t, explicit); a != b {
+		t.Errorf("explicit defaults changed the key: %s vs %s", a, b)
+	}
+}
+
+// TestKeyJSONFieldOrderInvariance: the same request serialized with
+// different JSON member order must hash identically.
+func TestKeyJSONFieldOrderInvariance(t *testing.T) {
+	docs := []string{
+		`{"model":"resnet50","engine":"winograd","bers":[1e-10,1e-9],"seed":7}`,
+		`{"seed":7,"bers":[1e-10,1e-9],"engine":"winograd","model":"resnet50"}`,
+	}
+	var keys []string
+	for _, doc := range docs {
+		var req winofault.CampaignRequest
+		if err := json.Unmarshal([]byte(doc), &req); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, mustKey(t, req))
+	}
+	if keys[0] != keys[1] {
+		t.Errorf("JSON member order changed the key: %s vs %s", keys[0], keys[1])
+	}
+}
+
+// TestKeyFloatFormattingInvariance: every textual spelling of the same
+// float64 must canonicalize identically, and genuinely different values
+// must not.
+func TestKeyFloatFormattingInvariance(t *testing.T) {
+	var a, b winofault.CampaignRequest
+	if err := json.Unmarshal([]byte(`{"bers":[1e-9],"widthMult":0.125}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"bers":[0.000000001],"widthMult":1.25e-1}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	if ka, kb := mustKey(t, a), mustKey(t, b); ka != kb {
+		t.Errorf("same floats, different spelling, different keys: %s vs %s", ka, kb)
+	}
+	c := a
+	c.BERs = []float64{2e-9}
+	if mustKey(t, a) == mustKey(t, c) {
+		t.Error("different BER produced the same key")
+	}
+}
+
+// TestKeyProtectionOrderInvariance: protection is a map, so its iteration
+// order must never leak into the key; its content must.
+func TestKeyProtectionOrderInvariance(t *testing.T) {
+	prot := map[string][2]float64{}
+	for _, name := range []string{"conv1_1", "conv2_1", "conv3_1", "conv3_4", "conv4_2", "conv5_3"} {
+		prot[name] = [2]float64{0.5, 0.25}
+	}
+	base := winofault.CampaignRequest{BERs: []float64{1e-9}, Protection: prot}
+	want := mustKey(t, base)
+	for i := 0; i < 20; i++ {
+		clone := winofault.CampaignRequest{BERs: []float64{1e-9}, Protection: map[string][2]float64{}}
+		for k, v := range prot {
+			clone.Protection[k] = v
+		}
+		if got := mustKey(t, clone); got != want {
+			t.Fatalf("iteration %d: map order leaked into the key: %s vs %s", i, got, want)
+		}
+	}
+	changed := winofault.CampaignRequest{BERs: []float64{1e-9},
+		Protection: map[string][2]float64{"conv1_1": {1, 0.25}}}
+	if mustKey(t, changed) == want {
+		t.Error("different protection produced the same key")
+	}
+	// A zero-fraction entry protects nothing: same campaign as no entry.
+	noop := winofault.CampaignRequest{BERs: []float64{1e-9},
+		Protection: map[string][2]float64{"conv1_1": {0, 0}}}
+	if mustKey(t, noop) != mustKey(t, winofault.CampaignRequest{BERs: []float64{1e-9}}) {
+		t.Error("zero-fraction protection entry changed the key")
+	}
+}
+
+// TestKeyIgnoresWorkers: worker count is scheduling, not campaign identity
+// (results are bit-identical for any value), so it must not shard the cache.
+func TestKeyIgnoresWorkers(t *testing.T) {
+	a := winofault.CampaignRequest{BERs: []float64{1e-9}, Workers: 1}
+	b := winofault.CampaignRequest{BERs: []float64{1e-9}, Workers: 32}
+	if ka, kb := mustKey(t, a), mustKey(t, b); ka != kb {
+		t.Errorf("workers sharded the cache: %s vs %s", ka, kb)
+	}
+}
+
+// TestKeyDistinguishesResultAffectingFields: every field that changes the
+// campaign's outcome must change the key.
+func TestKeyDistinguishesResultAffectingFields(t *testing.T) {
+	base := winofault.CampaignRequest{BERs: []float64{1e-9}}
+	want := mustKey(t, base)
+	variants := map[string]winofault.CampaignRequest{
+		"model":     {Model: "googlenet", BERs: []float64{1e-9}},
+		"engine":    {Engine: "winograd", BERs: []float64{1e-9}},
+		"precision": {Precision: "int8", BERs: []float64{1e-9}},
+		"semantics": {Semantics: "neuron", BERs: []float64{1e-9}},
+		"widthMult": {WidthMult: 0.25, BERs: []float64{1e-9}},
+		"inputSize": {InputSize: 16, BERs: []float64{1e-9}},
+		"samples":   {Samples: 8, BERs: []float64{1e-9}},
+		"rounds":    {Rounds: 5, BERs: []float64{1e-9}},
+		"seed":      {Seed: 99, BERs: []float64{1e-9}},
+		"tileF4":    {TileF4: true, BERs: []float64{1e-9}},
+		"berOrder":  {BERs: []float64{1e-8, 1e-9}},
+		"layers":    {Layers: true, BERs: []float64{1e-9}},
+	}
+	for field, req := range variants {
+		if mustKey(t, req) == want {
+			t.Errorf("changing %s did not change the key", field)
+		}
+	}
+}
+
+// TestKeyRejectsInvalidRequests pins the validation surface.
+func TestKeyRejectsInvalidRequests(t *testing.T) {
+	bad := map[string]winofault.CampaignRequest{
+		"no bers":        {},
+		"bad engine":     {Engine: "systolic", BERs: []float64{1e-9}},
+		"bad precision":  {Precision: "fp32", BERs: []float64{1e-9}},
+		"bad semantics":  {Semantics: "sdc", BERs: []float64{1e-9}},
+		"reserved chars": {BERs: []float64{1e-9}, Protection: map[string][2]float64{"a|b": {1, 1}}},
+	}
+	for name, req := range bad {
+		if _, err := Key(req); err == nil {
+			t.Errorf("%s: Key accepted an invalid request", name)
+		}
+	}
+}
+
+// TestCanonicalIsVersioned: the canonical serialization carries its schema
+// tag so persisted entries can never outlive a schema change silently.
+func TestCanonicalIsVersioned(t *testing.T) {
+	canon, err := Canonical(winofault.CampaignRequest{BERs: []float64{1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(canon, keySchema+"\n") {
+		t.Errorf("canonical form does not start with schema tag %q:\n%s", keySchema, canon)
+	}
+}

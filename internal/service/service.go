@@ -1,0 +1,320 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	winofault "repro"
+)
+
+// Config sizes the campaign service.
+type Config struct {
+	// Jobs is the number of campaigns executed concurrently (default 1;
+	// each campaign already parallelizes internally via the faultsim pool).
+	Jobs int
+	// QueueDepth bounds the number of campaigns waiting to run (default
+	// 16); submissions beyond it fail fast with ErrQueueFull instead of
+	// accumulating unbounded work.
+	QueueDepth int
+	// Workers is the per-job faultsim worker budget (0 = GOMAXPROCS). A
+	// request's own Workers value is honored only up to this budget.
+	Workers int
+	// CacheEntries caps the in-memory result cache (default 256).
+	CacheEntries int
+	// CacheDir, when non-empty, persists results on disk so cache contents
+	// survive restarts.
+	CacheDir string
+	// Logf receives service events (default log.Printf; set to a no-op in
+	// tests).
+	Logf func(format string, args ...any)
+}
+
+// Sentinel errors surfaced by Submit.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrClosed    = errors.New("service: shutting down")
+)
+
+// maxFinished bounds how many finished jobs stay addressable for status
+// polls; older ones age out (done results remain in the cache regardless).
+const maxFinished = 256
+
+// Service is the campaign server: a bounded queue of jobs in front of the
+// deterministic faultsim engine, deduplicated by content-addressed cache
+// and in-flight coalescing.
+type Service struct {
+	cfg   Config
+	cache *Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job // queued, running, and a bounded tail of finished
+	finished []string        // FIFO of finished keys for eviction
+	queue    chan *Job
+	wg       sync.WaitGroup
+
+	// run executes one campaign; tests substitute it to observe coalescing
+	// and cancellation without paying for real forward passes.
+	run func(ctx context.Context, req winofault.CampaignRequest, progress func(done, total int)) ([]byte, error)
+}
+
+// New builds and starts a service; stop it with Close.
+func New(cfg Config) (*Service, error) {
+	if cfg.Jobs < 1 {
+		cfg.Jobs = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		cache:      cache,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	s.run = s.runCampaign
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit validates a campaign request and returns its job. Cache hits and
+// coalesced submissions come back instantly: a cached key returns an
+// already-done job, and a key currently queued or running returns that same
+// in-flight job. Only genuinely new work consumes queue capacity.
+func (s *Service) Submit(req winofault.CampaignRequest) (*Job, error) {
+	key, err := Key(req)
+	if err != nil {
+		return nil, err
+	}
+	// Content hit first: finished campaigns are always in the cache, so a
+	// repeated request is answered from there (Cached=true) without
+	// consuming queue capacity. This probe may touch disk, so it runs
+	// before taking the service mutex.
+	if data, ok := s.cache.Get(key); ok {
+		return cachedJob(key, data), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if j, ok := s.jobs[key]; ok {
+		if st := j.Status(); st.State == winofault.StateQueued || st.State == winofault.StateRunning {
+			return j, nil // coalesce onto the in-flight execution
+		}
+		// Finished jobs: done ones were served by the cache checks (unless
+		// evicted with persistence off — then re-running is the only way to
+		// answer); failed ones are retryable. Resubmit both.
+	}
+	// Re-check memory only (no I/O under the lock): the campaign may have
+	// finished between the disk probe above and taking the mutex.
+	if data, ok := s.cache.getMemory(key); ok {
+		return cachedJob(key, data), nil
+	}
+	j := newJob(s.baseCtx, key, req)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel() // release the job's context registration on baseCtx
+		return nil, ErrQueueFull
+	}
+	s.jobs[key] = j
+	return j, nil
+}
+
+// validKey reports whether id has the shape of a campaign content address
+// (64 lowercase hex digits). Anything else — in particular path fragments
+// smuggled through URL encoding — must never reach the cache, whose
+// persistence layer maps keys to file names.
+func validKey(id string) bool {
+	if len(id) != 64 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Job returns the job addressed by id: in-flight or recently finished, else
+// synthesized from the result cache.
+func (s *Service) Job(id string) (*Job, bool) {
+	if !validKey(id) {
+		return nil, false
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		return j, true
+	}
+	if data, ok := s.cache.Get(id); ok {
+		return cachedJob(id, data), true
+	}
+	return nil, false
+}
+
+// Cancel aborts an in-flight job. Canceling an already-finished job is a
+// no-op; the result (if done) stays cached.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok || j.cancel == nil {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// rememberFinishedLocked keeps a finished job addressable for status polls,
+// aging out the oldest entries beyond maxFinished.
+func (s *Service) rememberFinishedLocked(j *Job) {
+	s.jobs[j.Key] = j
+	s.finished = append(s.finished, j.Key)
+	for len(s.finished) > maxFinished {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		if held, ok := s.jobs[old]; ok && held != j {
+			if st := held.Status(); st.State == winofault.StateDone || st.State == winofault.StateFailed {
+				delete(s.jobs, old)
+			}
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	j.setRunning()
+	data, err := s.run(j.ctx, j.req, j.progress)
+	if err == nil {
+		if cerr := j.ctx.Err(); cerr != nil {
+			// Belt and braces: a canceled campaign must never be cached,
+			// even if the runner missed the cancellation.
+			err = cerr
+		} else if data == nil {
+			err = fmt.Errorf("service: campaign produced no result")
+		}
+	}
+	if err == nil {
+		if perr := s.cache.Put(j.Key, data); perr != nil {
+			// Persistence failures degrade durability, not the response.
+			s.cfg.Logf("service: %v", perr)
+		}
+	}
+	s.mu.Lock()
+	if err != nil {
+		// The failed job stays addressable for status polls but is
+		// retryable: Submit replaces it. Nothing touches the cache.
+		s.cfg.Logf("service: campaign %.12s failed: %v", j.Key, err)
+	}
+	s.rememberFinishedLocked(j)
+	s.mu.Unlock()
+	j.finish(data, err)
+}
+
+// runCampaign executes one real campaign through the winofault facade.
+func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest, progress func(done, total int)) ([]byte, error) {
+	// The request's own worker ask is honored only up to the service's
+	// per-job budget; the budget is the default.
+	req.Workers = clampWorkers(req.Workers, s.cfg.Workers)
+	cfg, err := req.SystemConfig()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := winofault.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SetProtection(req.Protection); err != nil {
+		return nil, err
+	}
+	sys.OnProgress(progress)
+	pts, err := sys.SweepCtx(ctx, req.BERs)
+	if err != nil {
+		return nil, err
+	}
+	res := winofault.CampaignResult{Points: pts}
+	if req.Layers {
+		mid := req.BERs[len(req.BERs)/2]
+		base, layers, err := sys.LayerSensitivitiesCtx(ctx, mid)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline = base
+		res.Layers = layers
+	}
+	return json.Marshal(res)
+}
+
+// clampWorkers resolves a request's worker ask against the service budget.
+func clampWorkers(ask, budget int) int {
+	if budget <= 0 {
+		return ask // unlimited budget: the request's ask stands (0 = GOMAXPROCS)
+	}
+	if ask <= 0 || ask > budget {
+		return budget
+	}
+	return ask
+}
+
+// Close drains the service: no new submissions are accepted, queued and
+// running jobs finish normally, then workers exit. If ctx is canceled while
+// draining, every remaining job's context is canceled (their waiters see
+// context.Canceled, nothing reaches the cache) and Close returns ctx.Err()
+// once the workers have exited.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}

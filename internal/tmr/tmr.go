@@ -7,6 +7,7 @@
 package tmr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -85,8 +86,8 @@ const (
 // Vulnerability measures each conv layer's vulnerability factor: the
 // accuracy when the layer is fault-free minus the all-faulty baseline
 // (paper Section 4.1, derived from the Fig. 3 analysis).
-func Vulnerability(r *faultsim.Runner, ber float64, opts faultsim.Options, rounds int) map[int]float64 {
-	base, per := r.LayerSensitivity(ber, opts, rounds)
+func Vulnerability(ctx context.Context, r *faultsim.Runner, ber float64, opts faultsim.Options, rounds int) map[int]float64 {
+	base, per := r.LayerSensitivity(ctx, ber, opts, rounds)
 	vf := make(map[int]float64, len(per))
 	for li, acc := range per {
 		vf[li] = acc - base
@@ -107,7 +108,9 @@ func (o *Optimizer) rankedLayers() []int {
 // whole network is protected. It returns the final plan; Plan.Accuracy
 // records the achieved accuracy (which may be below target only in the
 // fully-protected corner case, where it equals the fault-free accuracy).
-func (o *Optimizer) Optimize(target float64, maxIters int) *Plan {
+// Canceling ctx abandons the search; the returned plan is partial and the
+// caller must check ctx.Err() before trusting it.
+func (o *Optimizer) Optimize(ctx context.Context, target float64, maxIters int) *Plan {
 	step := o.Step
 	if step <= 0 {
 		step = 0.125
@@ -147,7 +150,7 @@ func (o *Optimizer) Optimize(target float64, maxIters int) *Plan {
 	batchEval := opts.ResolvedWorkers() >= 2*rounds
 	measure := func() float64 {
 		if batchEval {
-			accs := o.Runner.AccuracyBatch([]faultsim.Campaign{
+			accs := o.Runner.AccuracyBatch(ctx, []faultsim.Campaign{
 				{BER: o.BER, Opts: opts},
 				{BER: o.BER, Opts: confirmOpts},
 			}, o.Rounds)
@@ -156,16 +159,16 @@ func (o *Optimizer) Optimize(target float64, maxIters int) *Plan {
 			}
 			return (accs[0] + accs[1]) / 2
 		}
-		acc := o.Runner.Accuracy(o.BER, opts, o.Rounds)
+		acc := o.Runner.Accuracy(ctx, o.BER, opts, o.Rounds)
 		if acc < target {
 			return acc
 		}
-		confirm := o.Runner.Accuracy(o.BER, confirmOpts, o.Rounds)
+		confirm := o.Runner.Accuracy(ctx, o.BER, confirmOpts, o.Rounds)
 		return (acc + confirm) / 2
 	}
 	acc := measure()
 	cursor := 0
-	for iter := 0; acc < target && iter < maxIters; iter++ {
+	for iter := 0; acc < target && iter < maxIters && ctx.Err() == nil; iter++ {
 		li := layers[cursor]
 		p := prot[li]
 		switch {

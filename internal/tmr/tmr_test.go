@@ -1,6 +1,7 @@
 package tmr
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -46,7 +47,7 @@ func TestOverheadAccounting(t *testing.T) {
 
 func TestVulnerabilityFactors(t *testing.T) {
 	runner, _, opts := rig(t, nn.Direct)
-	vf := Vulnerability(runner, 2e-9, opts, 2)
+	vf := Vulnerability(context.Background(), runner, 2e-9, opts, 2)
 	if len(vf) != len(runner.Net.ConvNodes()) {
 		t.Fatalf("vf entries %d, want %d", len(vf), len(runner.Net.ConvNodes()))
 	}
@@ -69,12 +70,12 @@ func TestOptimizeReachesTarget(t *testing.T) {
 		Opts:   opts,
 		BER:    ber,
 		Rounds: 2,
-		VF:     Vulnerability(runner, ber, opts, 2),
+		VF:     Vulnerability(context.Background(), runner, ber, opts, 2),
 		Step:   0.25,
 	}
-	unprotected := runner.Accuracy(ber, opts, 2)
+	unprotected := runner.Accuracy(context.Background(), ber, opts, 2)
 	target := unprotected + (1-unprotected)*0.6
-	plan := o.Optimize(target, 0)
+	plan := o.Optimize(context.Background(), target, 0)
 	if plan.Accuracy < target {
 		t.Errorf("plan accuracy %v below target %v", plan.Accuracy, target)
 	}
@@ -92,7 +93,7 @@ func TestOptimizeZeroTargetIsFree(t *testing.T) {
 	runner, census, opts := rig(t, nn.Direct)
 	o := &Optimizer{Runner: runner, Opts: opts, BER: 1e-9, Rounds: 1,
 		VF: map[int]float64{}, Step: 0.25}
-	plan := o.Optimize(0, 0)
+	plan := o.Optimize(context.Background(), 0, 0)
 	if plan.Overhead(census) != 0 || plan.Iterations != 0 {
 		t.Errorf("zero target should need no protection: %+v", plan)
 	}
@@ -102,9 +103,9 @@ func TestOptimizeProtectsMulsFirst(t *testing.T) {
 	runner, _, opts := rig(t, nn.Direct)
 	const ber = 5e-9
 	o := &Optimizer{Runner: runner, Opts: opts, BER: ber, Rounds: 2,
-		VF: Vulnerability(runner, ber, opts, 2), Step: 0.25}
-	unprotected := runner.Accuracy(ber, opts, 2)
-	plan := o.Optimize(unprotected+(1-unprotected)*0.4, 0)
+		VF: Vulnerability(context.Background(), runner, ber, opts, 2), Step: 0.25}
+	unprotected := runner.Accuracy(context.Background(), ber, opts, 2)
+	plan := o.Optimize(context.Background(), unprotected+(1-unprotected)*0.4, 0)
 	for li, p := range plan.Protection {
 		if p.AddFrac > 0 && p.MulFrac < 1 {
 			t.Errorf("layer %d protects adds (%v) before saturating muls (%v)", li, p.AddFrac, p.MulFrac)
@@ -140,9 +141,9 @@ func TestWinogradNeedsLessProtection(t *testing.T) {
 	target := 0.9
 
 	stPlan := (&Optimizer{Runner: stRunner, Opts: stOpts, BER: ber, Rounds: 2,
-		VF: Vulnerability(stRunner, ber, stOpts, 2), Step: 0.25}).Optimize(target, 0)
+		VF: Vulnerability(context.Background(), stRunner, ber, stOpts, 2), Step: 0.25}).Optimize(context.Background(), target, 0)
 	wgPlan := (&Optimizer{Runner: wgRunner, Opts: wgOpts, BER: ber, Rounds: 2,
-		VF: Vulnerability(wgRunner, ber, wgOpts, 2), Step: 0.25}).Optimize(target, 0)
+		VF: Vulnerability(context.Background(), wgRunner, ber, wgOpts, 2), Step: 0.25}).Optimize(context.Background(), target, 0)
 
 	stOH := stPlan.Overhead(stCensus)
 	wgOH := wgPlan.Overhead(wgCensus)
@@ -162,14 +163,14 @@ func TestWinogradNeedsLessProtection(t *testing.T) {
 func TestMulFirstBeatsUniform(t *testing.T) {
 	runner, census, opts := rig(t, nn.Direct)
 	const ber = 5e-9
-	vf := Vulnerability(runner, ber, opts, 2)
-	unprotected := runner.Accuracy(ber, opts, 2)
+	vf := Vulnerability(context.Background(), runner, ber, opts, 2)
+	unprotected := runner.Accuracy(context.Background(), ber, opts, 2)
 	target := unprotected + (1-unprotected)*0.5
 
 	mulFirst := (&Optimizer{Runner: runner, Opts: opts, BER: ber, Rounds: 2,
-		VF: vf, Step: 0.25, Policy: MulFirst}).Optimize(target, 0)
+		VF: vf, Step: 0.25, Policy: MulFirst}).Optimize(context.Background(), target, 0)
 	uniform := (&Optimizer{Runner: runner, Opts: opts, BER: ber, Rounds: 2,
-		VF: vf, Step: 0.25, Policy: Uniform}).Optimize(target, 0)
+		VF: vf, Step: 0.25, Policy: Uniform}).Optimize(context.Background(), target, 0)
 
 	mo, uo := mulFirst.Overhead(census), uniform.Overhead(census)
 	if mo == 0 && uo == 0 {
@@ -184,8 +185,8 @@ func TestMulFirstBeatsUniform(t *testing.T) {
 func TestUniformPolicySaturatesBothClasses(t *testing.T) {
 	runner, _, opts := rig(t, nn.Direct)
 	o := &Optimizer{Runner: runner, Opts: opts, BER: 1e-7, Rounds: 1,
-		VF: Vulnerability(runner, 1e-7, opts, 1), Step: 0.5, Policy: Uniform}
-	plan := o.Optimize(0.99, 40)
+		VF: Vulnerability(context.Background(), runner, 1e-7, opts, 1), Step: 0.5, Policy: Uniform}
+	plan := o.Optimize(context.Background(), 0.99, 40)
 	for li, p := range plan.Protection {
 		if p.MulFrac != p.AddFrac {
 			t.Errorf("layer %d: uniform policy diverged: mul %v add %v", li, p.MulFrac, p.AddFrac)

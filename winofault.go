@@ -15,6 +15,7 @@
 package winofault
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -207,17 +208,86 @@ type Point struct {
 
 // Accuracy returns golden-agreement accuracy at the given bit error rate.
 func (s *System) Accuracy(ber float64) float64 {
-	return s.runner.Accuracy(ber, s.opts, s.cfg.Rounds)
+	acc, _ := s.AccuracyCtx(context.Background(), ber)
+	return acc
+}
+
+// AccuracyCtx is Accuracy with cancellation: when ctx is canceled the
+// campaign stops scheduling Monte-Carlo rounds and ctx.Err() is returned.
+func (s *System) AccuracyCtx(ctx context.Context, ber float64) (float64, error) {
+	acc := s.runner.Accuracy(ctx, ber, s.opts, s.cfg.Rounds)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return acc, nil
 }
 
 // Sweep measures accuracy across a BER range.
 func (s *System) Sweep(bers []float64) []Point {
-	pts := s.runner.Sweep(bers, s.opts, s.cfg.Rounds)
+	pts, _ := s.SweepCtx(context.Background(), bers)
+	return pts
+}
+
+// SweepCtx is Sweep with cancellation: when ctx is canceled mid-campaign the
+// scheduler stops claiming (BER point, round) units, the partial points are
+// discarded and ctx.Err() is returned.
+func (s *System) SweepCtx(ctx context.Context, bers []float64) ([]Point, error) {
+	pts := s.runner.Sweep(ctx, bers, s.opts, s.cfg.Rounds)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]Point, len(pts))
 	for i, p := range pts {
 		out[i] = Point{BER: p.BER, Accuracy: p.Accuracy}
 	}
-	return out
+	return out, nil
+}
+
+// OnProgress registers fn to observe campaign progress: after every finished
+// (campaign, Monte-Carlo round) work unit it receives the completed and total
+// unit counts of the running batch. The callback is observational only (it
+// can never change results) and may be invoked concurrently from scheduler
+// workers, so it must be goroutine-safe. A nil fn removes the callback.
+func (s *System) OnProgress(fn func(done, total int)) { s.opts.Progress = fn }
+
+// SetProtection installs a fine-grained TMR protection plan by layer name:
+// each entry maps a convolution layer (as reported by LayerSensitivities) to
+// its protected [mul, add] operation fractions in [0, 1]. An empty or nil map
+// clears the protection. The plan applies to every subsequent campaign run by
+// this system.
+func (s *System) SetProtection(layers map[string][2]float64) error {
+	if len(layers) == 0 {
+		s.opts.Protection = nil
+		return nil
+	}
+	byName := make(map[string]int, len(s.runner.Net.ConvNodes()))
+	for _, li := range s.runner.Net.ConvNodes() {
+		byName[s.arch.Ops[li].Name] = li
+	}
+	prot := make(map[int]fault.Protection, len(layers))
+	for name, fr := range layers {
+		li, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("winofault: protection names unknown conv layer %q", name)
+		}
+		if fr[0] < 0 || fr[0] > 1 || fr[1] < 0 || fr[1] > 1 {
+			return fmt.Errorf("winofault: protection fractions for %q out of [0,1]: %v", name, fr)
+		}
+		prot[li] = fault.Protection{MulFrac: fr[0], AddFrac: fr[1]}
+	}
+	s.opts.Protection = prot
+	return nil
+}
+
+// FormatSweep renders sweep points as the canonical accuracy table shared by
+// the wfsim CLI and the wfserve text endpoint — one header line, then one
+// "%-12.3g %.2f" row per point. Keeping a single renderer is what lets CI
+// diff the two byte-for-byte.
+func FormatSweep(w io.Writer, pts []Point) {
+	fmt.Fprintf(w, "%-12s %s\n", "BER", "accuracy%")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-12.3g %.2f\n", p.BER, p.Accuracy*100)
+	}
 }
 
 // LayerSensitivity is the fault sensitivity of one convolution layer.
@@ -236,7 +306,17 @@ type LayerSensitivity struct {
 // returning the all-faulty baseline accuracy and per-layer results in
 // network order.
 func (s *System) LayerSensitivities(ber float64) (baseline float64, layers []LayerSensitivity) {
-	base, per := s.runner.LayerSensitivity(ber, s.opts, s.cfg.Rounds)
+	baseline, layers, _ = s.LayerSensitivitiesCtx(context.Background(), ber)
+	return baseline, layers
+}
+
+// LayerSensitivitiesCtx is LayerSensitivities with cancellation: when ctx is
+// canceled the partial analysis is discarded and ctx.Err() is returned.
+func (s *System) LayerSensitivitiesCtx(ctx context.Context, ber float64) (baseline float64, layers []LayerSensitivity, err error) {
+	base, per := s.runner.LayerSensitivity(ctx, ber, s.opts, s.cfg.Rounds)
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	for _, li := range s.runner.Net.ConvNodes() {
 		layers = append(layers, LayerSensitivity{
 			Layer:             s.arch.Ops[li].Name,
@@ -245,7 +325,7 @@ func (s *System) LayerSensitivities(ber float64) (baseline float64, layers []Lay
 			Muls:              s.opts.Intensity[li].Mul,
 		})
 	}
-	return base, layers
+	return base, layers, nil
 }
 
 // TMRPlan is a fine-grained protection plan.
@@ -263,11 +343,12 @@ type TMRPlan struct {
 // OptimizeTMR searches for the cheapest fine-grained TMR plan reaching the
 // target golden-agreement accuracy at the given BER (paper Section 4.1).
 func (s *System) OptimizeTMR(ber, targetAccuracy float64) *TMRPlan {
+	ctx := context.Background()
 	opts := s.opts
-	vf := tmr.Vulnerability(s.runner, ber, opts, s.cfg.Rounds)
+	vf := tmr.Vulnerability(ctx, s.runner, ber, opts, s.cfg.Rounds)
 	plan := (&tmr.Optimizer{
 		Runner: s.runner, Opts: opts, BER: ber, Rounds: s.cfg.Rounds, VF: vf, Step: 0.125,
-	}).Optimize(targetAccuracy, 600)
+	}).Optimize(ctx, targetAccuracy, 600)
 	out := &TMRPlan{
 		Accuracy:    plan.Accuracy,
 		OverheadOps: plan.Overhead(s.opts.Intensity),
@@ -300,7 +381,7 @@ func (s *System) ExploreEnergy(lossesPct []float64) []EnergyPoint {
 	array := systolic.DNNEngine16
 	const batch = 16
 	bers := []float64{1e-12, 1e-11, 1e-10, 3e-10, 1e-9, 3e-9, 1e-8, 1e-7}
-	pts := s.runner.Sweep(bers, s.opts, 3*s.cfg.Rounds)
+	pts := s.runner.Sweep(context.Background(), bers, s.opts, 3*s.cfg.Rounds)
 	accs := make([]float64, len(pts))
 	for i, p := range pts {
 		accs[i] = p.Accuracy
