@@ -17,7 +17,10 @@ import (
 //	                              canonical wfsim accuracy table
 //	GET    /campaigns/{id}/events server-sent events: per-round progress,
 //	                              then the final status
-//	DELETE /campaigns/{id}        cancel an in-flight campaign
+//	DELETE /campaigns/{id}        cancel an in-flight campaign — shared by
+//	                              design: coalesced waiters on the same
+//	                              content address all observe the abort and
+//	                              may resubmit (see Service.Cancel)
 //	GET    /healthz               liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()

@@ -180,10 +180,10 @@ func TestLayerSensitivityOverHTTP(t *testing.T) {
 // terminal done event carrying the result.
 func TestEventsStreamProgress(t *testing.T) {
 	gate := make(chan struct{})
-	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		<-gate
 		for u := 1; u <= 3; u++ {
-			progress(u, 3)
+			progress(0, u, 3)
 		}
 		return []byte(`{"points":[]}`), nil
 	})
@@ -233,7 +233,7 @@ func TestHTTPValidation(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
 	started := make(chan struct{}, 4)
-	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		started <- struct{}{}
 		<-gate
 		return []byte(`{}`), nil
@@ -258,6 +258,18 @@ func TestHTTPValidation(t *testing.T) {
 	}
 	if code := post(`{"bers":[1e-9],"typo":true}`); code != http.StatusBadRequest {
 		t.Errorf("unknown field: %d", code)
+	}
+	// The REVIEW regression: negative numerics used to be keyed, queued, and
+	// then panic dataset construction on the worker goroutine, killing the
+	// whole process. They must be plain 400s.
+	if code := post(`{"bers":[1e-9],"samples":-1}`); code != http.StatusBadRequest {
+		t.Errorf("negative samples: %d", code)
+	}
+	if code := post(`{"bers":[1e-9],"rounds":-2}`); code != http.StatusBadRequest {
+		t.Errorf("negative rounds: %d", code)
+	}
+	if code := post(`{"bers":[1e-9],"protection":{"conv1_1":[2,0]}}`); code != http.StatusBadRequest {
+		t.Errorf("out-of-range protection: %d", code)
 	}
 	resp, err := http.Get(ts.URL + "/campaigns/deadbeef")
 	if err != nil {

@@ -22,6 +22,7 @@ type Job struct {
 	mu     sync.Mutex
 	state  string // StateQueued -> StateRunning -> StateDone/StateFailed
 	cached bool
+	batch  int // sequence number of the unit batch done/total describe
 	done   int
 	total  int
 	data   []byte
@@ -154,17 +155,18 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
-func (j *Job) progress(done, total int) {
+func (j *Job) progress(batch, done, total int) {
 	j.mu.Lock()
 	// Scheduler workers report concurrently, so done values can arrive out
 	// of order; within one batch (fixed total) only forward progress is
-	// published. A changed total is a new batch (e.g. the layer-sensitivity
-	// phase after the sweep) and resets the count.
-	if total == j.total && done <= j.done {
+	// published. Batches are explicitly sequence-numbered by the runner
+	// (sweep, then layer sensitivity), so a new batch resets the count even
+	// when its unit total happens to equal the previous batch's.
+	if batch < j.batch || (batch == j.batch && total == j.total && done <= j.done) {
 		j.mu.Unlock()
 		return
 	}
-	j.done, j.total = done, total
+	j.batch, j.done, j.total = batch, done, total
 	j.broadcastLocked(j.statusLocked())
 	j.mu.Unlock()
 }

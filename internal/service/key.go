@@ -79,6 +79,22 @@ func Canonical(req winofault.CampaignRequest) (string, error) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
+	// Reject nonsensical numerics at submit time: a keyed request must be
+	// runnable, otherwise the cache fills with addresses that can only fail
+	// (or worse, panic deep inside dataset/model construction). Only the
+	// zero value means "default"; anything else must stand on its own.
+	if math.IsNaN(req.WidthMult) || math.IsInf(req.WidthMult, 0) || req.WidthMult <= 0 {
+		return "", fmt.Errorf("service: WidthMult %v is not a positive finite value", req.WidthMult)
+	}
+	if req.InputSize < 1 {
+		return "", fmt.Errorf("service: InputSize %d is not positive", req.InputSize)
+	}
+	if req.Samples < 1 {
+		return "", fmt.Errorf("service: Samples %d is not positive", req.Samples)
+	}
+	if req.Rounds < 1 {
+		return "", fmt.Errorf("service: Rounds %d is not positive", req.Rounds)
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", keySchema)
@@ -108,8 +124,11 @@ func Canonical(req winofault.CampaignRequest) (string, error) {
 		if strings.ContainsAny(name, "\n|:") {
 			return "", fmt.Errorf("service: protection layer name %q contains reserved characters", name)
 		}
-		if math.IsNaN(fr[0]) || math.IsNaN(fr[1]) {
+		if math.IsNaN(fr[0]) || math.IsInf(fr[0], 0) || math.IsNaN(fr[1]) || math.IsInf(fr[1], 0) {
 			return "", fmt.Errorf("service: protection fractions for %q are not finite", name)
+		}
+		if fr[0] < 0 || fr[0] > 1 || fr[1] < 0 || fr[1] > 1 {
+			return "", fmt.Errorf("service: protection fractions for %q out of [0,1]: %v", name, fr)
 		}
 		names = append(names, name)
 	}

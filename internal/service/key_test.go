@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -154,6 +155,21 @@ func TestKeyRejectsInvalidRequests(t *testing.T) {
 		"bad precision":  {Precision: "fp32", BERs: []float64{1e-9}},
 		"bad semantics":  {Semantics: "sdc", BERs: []float64{1e-9}},
 		"reserved chars": {BERs: []float64{1e-9}, Protection: map[string][2]float64{"a|b": {1, 1}}},
+		"nan ber":        {BERs: []float64{math.NaN()}},
+		"inf ber":        {BERs: []float64{math.Inf(1)}},
+		// Negative/nonsensical numerics must be 400s at submit time, never
+		// keyed jobs that fail (or panic) on the worker: only the zero value
+		// means "default".
+		"negative samples":       {Samples: -1, BERs: []float64{1e-9}},
+		"negative rounds":        {Rounds: -1, BERs: []float64{1e-9}},
+		"negative inputSize":     {InputSize: -4, BERs: []float64{1e-9}},
+		"negative widthMult":     {WidthMult: -0.5, BERs: []float64{1e-9}},
+		"nan widthMult":          {WidthMult: math.NaN(), BERs: []float64{1e-9}},
+		"inf widthMult":          {WidthMult: math.Inf(1), BERs: []float64{1e-9}},
+		"nan protection":         {BERs: []float64{1e-9}, Protection: map[string][2]float64{"conv1_1": {math.NaN(), 0.5}}},
+		"inf protection":         {BERs: []float64{1e-9}, Protection: map[string][2]float64{"conv1_1": {math.Inf(1), 0.5}}},
+		"negative protection":    {BERs: []float64{1e-9}, Protection: map[string][2]float64{"conv1_1": {-0.1, 0.5}}},
+		"above-unity protection": {BERs: []float64{1e-9}, Protection: map[string][2]float64{"conv1_1": {0.5, 1.5}}},
 	}
 	for name, req := range bad {
 		if _, err := Key(req); err == nil {

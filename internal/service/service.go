@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime/debug"
 	"sync"
 
 	winofault "repro"
@@ -61,8 +62,10 @@ type Service struct {
 	wg       sync.WaitGroup
 
 	// run executes one campaign; tests substitute it to observe coalescing
-	// and cancellation without paying for real forward passes.
-	run func(ctx context.Context, req winofault.CampaignRequest, progress func(done, total int)) ([]byte, error)
+	// and cancellation without paying for real forward passes. The progress
+	// callback tags each report with a batch sequence number (0 = sweep,
+	// 1 = layer sensitivity) so phases with equal unit totals stay distinct.
+	run func(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error)
 }
 
 // New builds and starts a service; stop it with Close.
@@ -179,7 +182,12 @@ func (s *Service) Job(id string) (*Job, bool) {
 	return nil, false
 }
 
-// Cancel aborts an in-flight job. Canceling an already-finished job is a
+// Cancel aborts an in-flight job. Identical submissions coalesce onto one
+// execution, so cancellation is deliberately shared: the job IS the content
+// address, and aborting it aborts it for every waiter — each sees
+// context.Canceled. That is the price of the shared-cache model (one key,
+// one execution); the failure is not sticky, so any waiter that still wants
+// the result simply resubmits. Canceling an already-finished job is a
 // no-op; the result (if done) stays cached.
 func (s *Service) Cancel(id string) bool {
 	s.mu.Lock()
@@ -217,7 +225,7 @@ func (s *Service) worker() {
 
 func (s *Service) runJob(j *Job) {
 	j.setRunning()
-	data, err := s.run(j.ctx, j.req, j.progress)
+	data, err := s.runGuarded(j)
 	if err == nil {
 		if cerr := j.ctx.Err(); cerr != nil {
 			// Belt and braces: a canceled campaign must never be cached,
@@ -244,8 +252,23 @@ func (s *Service) runJob(j *Job) {
 	j.finish(data, err)
 }
 
+// runGuarded executes one campaign on the worker goroutine, converting a
+// runner panic into a failed job: the service must outlive any single
+// malformed request, so a panic fails that job alone instead of killing the
+// process. Submit-time validation (Canonical) makes this a last line of
+// defense, not the expected path.
+func (s *Service) runGuarded(j *Job) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("service: campaign %.12s panicked: %v\n%s", j.Key, r, debug.Stack())
+			data, err = nil, fmt.Errorf("service: campaign panicked: %v", r)
+		}
+	}()
+	return s.run(j.ctx, j.req, j.progress)
+}
+
 // runCampaign executes one real campaign through the winofault facade.
-func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest, progress func(done, total int)) ([]byte, error) {
+func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
 	// The request's own worker ask is honored only up to the service's
 	// per-job budget; the budget is the default.
 	req.Workers = clampWorkers(req.Workers, s.cfg.Workers)
@@ -260,13 +283,17 @@ func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest
 	if err := sys.SetProtection(req.Protection); err != nil {
 		return nil, err
 	}
-	sys.OnProgress(progress)
+	sys.OnProgress(func(done, total int) { progress(0, done, total) })
 	pts, err := sys.SweepCtx(ctx, req.BERs)
 	if err != nil {
 		return nil, err
 	}
 	res := winofault.CampaignResult{Points: pts}
 	if req.Layers {
+		// The layer-sensitivity phase is a new unit batch; tagging it with
+		// the next sequence number keeps its progress visible even when its
+		// unit total happens to equal the sweep's.
+		sys.OnProgress(func(done, total int) { progress(1, done, total) })
 		mid := req.BERs[len(req.BERs)/2]
 		base, layers, err := sys.LayerSensitivitiesCtx(ctx, mid)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,7 +22,7 @@ func quiet(cfg Config) Config {
 // newStubService builds a service whose campaign runner is replaced by fn,
 // so queue/coalescing/cancellation behavior is testable without forward
 // passes.
-func newStubService(t *testing.T, cfg Config, fn func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error)) *Service {
+func newStubService(t *testing.T, cfg Config, fn func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error)) *Service {
 	t.Helper()
 	s, err := New(quiet(cfg))
 	if err != nil {
@@ -46,7 +47,7 @@ func sweepReq(seed uint64) winofault.CampaignRequest {
 func TestCoalescingIdenticalSubmits(t *testing.T) {
 	var runs atomic.Int64
 	gate := make(chan struct{})
-	s := newStubService(t, Config{Jobs: 2, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 2, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		runs.Add(1)
 		<-gate
 		return []byte(`{"points":[]}`), nil
@@ -89,7 +90,7 @@ func TestCoalescingIdenticalSubmits(t *testing.T) {
 // share an execution.
 func TestDistinctRequestsDoNotCoalesce(t *testing.T) {
 	var runs atomic.Int64
-	s := newStubService(t, Config{Jobs: 2, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 2, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		runs.Add(1)
 		return []byte(`{}`), nil
 	})
@@ -111,7 +112,7 @@ func TestDistinctRequestsDoNotCoalesce(t *testing.T) {
 // with Cached=true and zero additional executions.
 func TestCacheHitSkipsExecution(t *testing.T) {
 	var runs atomic.Int64
-	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		runs.Add(1)
 		return []byte(`{"points":[{"BER":1e-9,"Accuracy":0.5}]}`), nil
 	})
@@ -151,7 +152,7 @@ func TestCancellationLeavesCacheClean(t *testing.T) {
 	started := make(chan struct{})
 	var first atomic.Bool
 	first.Store(true)
-	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8, CacheDir: dir}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8, CacheDir: dir}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		if !first.CompareAndSwap(true, false) {
 			return []byte(`{}`), nil // the resubmission at the end of the test
 		}
@@ -195,7 +196,7 @@ func TestCancellationLeavesCacheClean(t *testing.T) {
 // returns a result, the service must refuse to cache or serve it.
 func TestUncooperativeRunNeverCached(t *testing.T) {
 	started := make(chan struct{})
-	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return []byte(`{"points":[]}`), nil // ignores the cancellation
@@ -221,7 +222,7 @@ func TestUncooperativeRunNeverCached(t *testing.T) {
 func TestQueueBounded(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan struct{}, 1)
-	s := newStubService(t, Config{Jobs: 1, QueueDepth: 1}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 1}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		started <- struct{}{}
 		<-gate
 		return []byte(`{}`), nil
@@ -253,7 +254,7 @@ func TestCloseDrainsInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	var runs atomic.Int64
-	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		time.Sleep(20 * time.Millisecond)
 		runs.Add(1)
 		return []byte(`{}`), nil
@@ -290,7 +291,7 @@ func TestCloseCancelsOnExpiredContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int)) ([]byte, error) {
+	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -308,6 +309,62 @@ func TestCloseCancelsOnExpiredContext(t *testing.T) {
 	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
 		t.Errorf("in-flight job resolved with %v, want context.Canceled", err)
 	}
+}
+
+// TestRunnerPanicFailsJobNotProcess: a panic inside a campaign runner must
+// resolve that job as failed and leave the service (and its worker
+// goroutine) able to run subsequent campaigns — one malformed request must
+// never take down the process.
+func TestRunnerPanicFailsJobNotProcess(t *testing.T) {
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 8}, func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		if req.Seed == 666 {
+			panic("need at least 2 classes and 1 image")
+		}
+		return []byte(`{}`), nil
+	})
+	j, err := s.Submit(sweepReq(666))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking campaign resolved with %v, want a panic error", err)
+	}
+	if st := j.Status(); st.State != winofault.StateFailed {
+		t.Errorf("panicking campaign ended %s, want %s", st.State, winofault.StateFailed)
+	}
+	if _, ok := s.cache.Get(j.Key); ok {
+		t.Error("panicking campaign reached the cache")
+	}
+	// The same worker goroutine survived and serves the next campaign.
+	j2, err := s.Submit(sweepReq(667))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Wait(context.Background()); err != nil {
+		t.Errorf("campaign after a panic failed: %v", err)
+	}
+}
+
+// TestProgressBatchSequencing: a new batch with the same unit total as the
+// previous one must still publish its early reports — batch identity comes
+// from the explicit sequence number, not from a changed total.
+func TestProgressBatchSequencing(t *testing.T) {
+	j := newJob(context.Background(), "k", sweepReq(1))
+	j.progress(0, 4, 4) // sweep batch finishes: 4/4
+	j.progress(1, 1, 4) // layer batch with the SAME total reports early progress
+	if st := j.Status(); st.Done != 1 || st.Total != 4 {
+		t.Errorf("second batch progress suppressed: got %d/%d, want 1/4", st.Done, st.Total)
+	}
+	j.progress(0, 4, 4) // a straggler report from the finished sweep batch
+	if st := j.Status(); st.Done != 1 {
+		t.Errorf("stale batch report regressed progress to %d/%d", st.Done, st.Total)
+	}
+	j.progress(1, 3, 4)
+	j.progress(1, 2, 4) // out-of-order within the batch: no regression
+	if st := j.Status(); st.Done != 3 {
+		t.Errorf("out-of-order report regressed progress to %d/%d", st.Done, st.Total)
+	}
+	j.finish(nil, errors.New("end"))
 }
 
 func TestClampWorkers(t *testing.T) {
