@@ -136,9 +136,20 @@ type CampaignStatus struct {
 }
 
 // Client is a thin HTTP client for a wfserve campaign server.
+//
+// Idempotent GETs (Status, Result) retry transparently on connection errors
+// and 5xx responses with exponential backoff, honoring the caller's context
+// — a coordinator mid-restart or a load balancer hiccup costs latency, not
+// an error. Submissions never retry implicitly: POST /campaigns is safe to
+// repeat (content addressing dedups it), but that is the caller's call.
 type Client struct {
 	base *url.URL
 	hc   *http.Client
+	// retryAttempts bounds tries for idempotent GETs (default 4).
+	retryAttempts int
+	// retryBase is the first backoff delay; it doubles per attempt
+	// (default 100ms, so at most ~700ms of waiting across 4 attempts).
+	retryBase time.Duration
 }
 
 // Dial validates the server URL and checks the server is reachable via its
@@ -151,7 +162,7 @@ func Dial(rawURL string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("winofault: dial %q: %w", rawURL, err)
 	}
-	c := &Client{base: u, hc: &http.Client{}}
+	c := &Client{base: u, hc: &http.Client{}, retryAttempts: 4, retryBase: 100 * time.Millisecond}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/healthz"), nil)
@@ -212,23 +223,78 @@ func (c *Client) post(ctx context.Context, path string, req CampaignRequest) (*C
 	return decodeStatus(resp)
 }
 
+// getRetry performs an idempotent GET with bounded exponential-backoff
+// retry on connection errors and 5xx responses. Client errors (4xx) return
+// immediately — repeating them cannot help. The caller owns the response
+// body on success.
+func (c *Client) getRetry(ctx context.Context, pathAndQuery string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retryAttempts; attempt++ {
+		if attempt > 0 {
+			backoff := c.retryBase << (attempt - 1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("winofault: %w (last attempt: %v)", ctx.Err(), lastErr)
+			case <-t.C:
+			}
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint(pathAndQuery), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(hreq)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("winofault: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("winofault: giving up after %d attempts: %w", c.retryAttempts, lastErr)
+}
+
 // Submit enqueues a campaign without waiting for it and returns its status
 // (already "done" with the result attached on a cache hit).
 func (c *Client) Submit(ctx context.Context, req CampaignRequest) (*CampaignStatus, error) {
 	return c.post(ctx, "/campaigns", req)
 }
 
-// Status polls a submitted campaign by ID.
+// Status polls a submitted campaign by ID, retrying transient failures.
 func (c *Client) Status(ctx context.Context, id string) (*CampaignStatus, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/campaigns/"+url.PathEscape(id)), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(hreq)
+	resp, err := c.getRetry(ctx, "/campaigns/"+url.PathEscape(id))
 	if err != nil {
 		return nil, err
 	}
 	return decodeStatus(resp)
+}
+
+// Result fetches a finished campaign's raw result bytes — exactly the
+// content-addressed cache entry, so identical campaigns yield byte-identical
+// payloads. Transient failures retry like Status.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.getRetry(ctx, "/campaigns/"+url.PathEscape(id)+"/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("winofault: server returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
 }
 
 // Sweep submits a campaign and blocks until the server finishes it (or ctx

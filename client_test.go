@@ -1,0 +1,148 @@
+package winofault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer answers /healthz always and scripts /campaigns/{id} by
+// failing the first `fails` requests with the given status (0 = drop the
+// connection) before succeeding.
+func flakyServer(t *testing.T, fails int, failStatus int) (*Client, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			if failStatus == 0 {
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("cannot hijack")
+				}
+				conn, _, _ := hj.Hijack()
+				conn.Close() // connection error, not an HTTP status
+				return
+			}
+			w.WriteHeader(failStatus)
+			fmt.Fprintln(w, `{"error":"transient"}`)
+			return
+		}
+		fmt.Fprintln(w, `{"id":"abc","state":"done","cached":true,"done":0,"total":0,"result":{"points":[]}}`)
+	}
+	mux.HandleFunc("/campaigns/", handler)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.retryBase = time.Millisecond // keep the test fast
+	return c, &calls
+}
+
+// TestStatusRetries5xx: transient 5xx responses are retried until success.
+func TestStatusRetries5xx(t *testing.T) {
+	c, calls := flakyServer(t, 2, http.StatusBadGateway)
+	st, err := c.Status(context.Background(), "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Errorf("state %q", st.State)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestResultRetriesConnectionError: dropped connections retry too, and the
+// raw result bytes come back verbatim.
+func TestResultRetriesConnectionError(t *testing.T) {
+	c, calls := flakyServer(t, 1, 0)
+	body, err := c.Result(context.Background(), "abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"state":"done"`) {
+		t.Errorf("unexpected body %q", body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestStatusGivesUpAfterBoundedAttempts: a persistently failing server
+// exhausts the retry budget instead of looping forever.
+func TestStatusGivesUpAfterBoundedAttempts(t *testing.T) {
+	c, calls := flakyServer(t, 1000, http.StatusInternalServerError)
+	_, err := c.Status(context.Background(), "abc")
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("persistent 5xx returned %v, want a giving-up error", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d calls, want exactly the 4-attempt budget", got)
+	}
+}
+
+// TestStatusDoesNotRetry4xx: client errors are final — retrying a 404
+// cannot make the campaign exist.
+func TestStatusDoesNotRetry4xx(t *testing.T) {
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, `{"ok":true}`) })
+	mux.HandleFunc("/campaigns/", func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"unknown campaign"}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.retryBase = time.Millisecond
+	if _, err := c.Status(context.Background(), "nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("404 returned %v", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("server saw %d calls for a 404, want 1 (no retry)", got)
+	}
+}
+
+// TestRetryHonorsContext: cancellation during backoff returns promptly with
+// the context error instead of burning the remaining attempts.
+func TestRetryHonorsContext(t *testing.T) {
+	c, _ := flakyServer(t, 1000, http.StatusInternalServerError)
+	c.retryBase = 10 * time.Second // cancellation must cut this short
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := c.Status(ctx, "abc")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled retry returned %v", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Error("cancellation did not cut the backoff short")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled retry did not return")
+	}
+}

@@ -12,7 +12,13 @@
 //	    "model": "vgg19", "engine": "winograd",
 //	    "bers": [1e-10, 1e-9, 1e-8]}'
 //
-// See DESIGN.md "Service layer" for the API and cache-key schema.
+// With -dist the server becomes a fleet coordinator: wfworker nodes
+// register against /workers, and cache-miss campaigns are sharded across
+// them by unit range — with transparent fallback to local execution when no
+// workers are live. Results are byte-identical either way.
+//
+// See DESIGN.md "Service layer" and "Distributed execution" for the API,
+// cache-key schema and shard protocol.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/service"
 )
 
@@ -38,25 +45,45 @@ func main() {
 	jobs := flag.Int("jobs", 1, "campaigns executed concurrently")
 	workers := flag.Int("workers", 0, "per-campaign faultsim worker budget (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight campaigns")
+	distFlag := flag.Bool("dist", false, "coordinate a wfworker fleet: shard cache-miss campaigns across registered workers")
+	lease := flag.Duration("lease", 15*time.Second, "with -dist: worker lease TTL (silent workers lose their shards after this)")
+	shardUnits := flag.Int("shard-units", 0, "with -dist: units per shard (0 = auto, ~2 shards per live worker)")
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		Jobs:         *jobs,
 		QueueDepth:   *queue,
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
-	})
+	}
+	var coord *dist.Coordinator
+	if *distFlag {
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{
+			LeaseTTL:   *lease,
+			ShardUnits: *shardUnits,
+		})
+		cfg.Distributor = coord
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := http.Handler(svc.Handler())
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/workers", coord.Handler())
+		mux.Handle("/workers/", coord.Handler())
+		mux.Handle("/", svc.Handler())
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q)",
-		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir)
+	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t)",
+		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -68,16 +95,32 @@ func main() {
 		log.Printf("wfserve: %v: draining (budget %s)", s, *drain)
 	}
 
-	// Stop intake first (new submissions get 503), then let in-flight
-	// campaigns finish inside the drain budget; past it they are canceled.
+	// Flip the drain state first: new submissions and worker registrations
+	// get 503s, and /healthz answers 503 "draining" so load balancers stop
+	// routing here. The listener stays open while in-flight campaigns
+	// drain — fleet workers must keep leasing and reporting shards (and
+	// ?wait=1 clients keep their connections) for those campaigns to finish
+	// instead of stalling into lease expiry and a local re-run. Only once
+	// the service is drained does the listener shut down.
+	svc.BeginDrain()
+	if coord != nil {
+		coord.BeginDrain()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	code := 0
+	if err := svc.Close(ctx); err != nil {
+		log.Printf("wfserve: drain expired, in-flight campaigns canceled: %v", err)
+		code = 1
+	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("wfserve: http shutdown: %v", err)
 	}
-	if err := svc.Close(ctx); err != nil {
-		log.Printf("wfserve: drain expired, in-flight campaigns canceled: %v", err)
-		os.Exit(1)
+	if coord != nil {
+		coord.Close()
+	}
+	if code != 0 {
+		os.Exit(code)
 	}
 	log.Printf("wfserve: drained cleanly")
 }

@@ -1,0 +1,473 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	winofault "repro"
+	"repro/internal/service"
+)
+
+// CoordinatorConfig sizes the shard dispatcher.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a worker may stay silent before its registration
+	// lapses and its leased shards are re-queued (default 15s). Workers
+	// heartbeat at a third of this.
+	LeaseTTL time.Duration
+	// Poll is the idle polling interval hinted to workers (default 500ms).
+	Poll time.Duration
+	// ShardUnits fixes the target units per shard. 0 (default) sizes shards
+	// so each live worker gets about two — small enough for load balancing
+	// and cheap re-leases, large enough to amortize per-shard system
+	// construction on the worker.
+	ShardUnits int
+	// MaxAttempts bounds explicit shard failures (a worker reporting an
+	// error) before the whole run fails (default 3). Lease expiries do not
+	// count: a dead worker is the fleet's fault, not the shard's.
+	MaxAttempts int
+	// Logf receives coordinator events (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator is the fleet side of distributed campaign execution: worker
+// registry (register / heartbeat / lease expiry), shard queue, and the
+// index-ordered merge that keeps distributed results byte-identical to
+// local ones. It implements service.Distributor.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu       sync.Mutex
+	draining bool
+	workers  map[string]*workerState
+	pending  []*shard          // dispatchable shards, FIFO
+	leased   map[string]*shard // task ID -> leased shard
+	nextID   uint64
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// workerState is one registered fleet node.
+type workerState struct {
+	id, name string
+	lastSeen time.Time
+	shards   int64 // completed shard results (metrics)
+}
+
+// shard is one dispatchable unit range of a running campaign phase.
+type shard struct {
+	task     ShardTask
+	run      *campaignRun
+	attempts int       // explicit failures reported by workers
+	worker   string    // current lease holder ("" while pending)
+	deadline time.Time // lease expiry when leased
+}
+
+// campaignRun collects one phase's shard results.
+type campaignRun struct {
+	counts    []int
+	remaining int // shards not yet merged
+	doneUnits int
+	total     int
+	finished  bool
+	err       error
+	done      chan struct{}
+	progress  func(done, total int)
+}
+
+// NewCoordinator builds a coordinator and starts its lease janitor; stop it
+// with Close.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		workers: map[string]*workerState{},
+		leased:  map[string]*shard{},
+		stop:    make(chan struct{}),
+	}
+	go c.janitor()
+	return c
+}
+
+// Close stops the lease janitor. In-flight Run calls are not interrupted
+// (their contexts are); Close exists so tests and shutdown leak nothing.
+func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// BeginDrain stops accepting new worker registrations. Existing workers
+// keep leasing and reporting so in-flight campaigns finish inside the drain
+// budget; new fleet members should register with a coordinator that will
+// outlive them.
+func (c *Coordinator) BeginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Workers reports the fleet for /metrics (service.Distributor).
+func (c *Coordinator) Workers() []service.WorkerStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	out := make([]service.WorkerStat, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, service.WorkerStat{
+			ID:     w.id,
+			Name:   w.name,
+			Live:   c.liveLocked(w, now),
+			Shards: w.shards,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (c *Coordinator) liveLocked(w *workerState, now time.Time) bool {
+	return now.Sub(w.lastSeen) <= c.cfg.LeaseTTL
+}
+
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if c.liveLocked(w, now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes one campaign across the fleet (service.Distributor): shard
+// the sweep batch, merge counts, reduce; then the same for the
+// layer-sensitivity batch when requested. The returned bytes are
+// byte-identical to the local runner's for the same request — the marshaled
+// result of the same index-ordered integer reduction.
+func (c *Coordinator) Run(ctx context.Context, key string, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
+	c.mu.Lock()
+	live := c.liveWorkersLocked(time.Now())
+	c.mu.Unlock()
+	if live == 0 {
+		return nil, service.ErrNoWorkers
+	}
+
+	// The coordinator builds the system too — for unit totals, the golden
+	// predictions the reduction divides by, and the final reduce. It never
+	// executes campaign units itself.
+	cfg, err := req.SystemConfig()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := winofault.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SetProtection(req.Protection); err != nil {
+		return nil, err
+	}
+
+	counts, err := c.runPhase(ctx, key, req, PhaseSweep, sys.SweepUnits(req.BERs), func(done, total int) { progress(0, done, total) })
+	if err != nil {
+		return nil, err
+	}
+	pts, err := sys.SweepFromCounts(req.BERs, counts)
+	if err != nil {
+		return nil, err
+	}
+	res := winofault.CampaignResult{Points: pts}
+	if req.Layers {
+		mid := req.BERs[len(req.BERs)/2]
+		counts, err := c.runPhase(ctx, key, req, PhaseLayers, sys.LayerUnits(mid), func(done, total int) { progress(1, done, total) })
+		if err != nil {
+			return nil, err
+		}
+		base, layers, err := sys.LayersFromCounts(mid, counts)
+		if err != nil {
+			return nil, err
+		}
+		res.Baseline = base
+		res.Layers = layers
+	}
+	return json.Marshal(res)
+}
+
+// runPhase shards one phase's unit index space [0, total) into contiguous
+// ranges, dispatches them, and blocks until every shard's counts are merged
+// (in index order, by construction of the counts slice) or the phase fails.
+func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.CampaignRequest, phase, total int, progress func(done, total int)) ([]int, error) {
+	run := &campaignRun{
+		counts:   make([]int, total),
+		total:    total,
+		done:     make(chan struct{}),
+		progress: progress,
+	}
+	if total == 0 {
+		return run.counts, nil // e.g. every BER <= 0: nothing to sample
+	}
+
+	c.mu.Lock()
+	now := time.Now()
+	live := c.liveWorkersLocked(now)
+	if live == 0 {
+		c.mu.Unlock()
+		return nil, service.ErrNoWorkers
+	}
+	size := c.cfg.ShardUnits
+	if size <= 0 {
+		// About two shards per live worker: re-leases stay cheap and a slow
+		// node can't serialize the tail.
+		size = (total + 2*live - 1) / (2 * live)
+	}
+	if size < 1 {
+		size = 1
+	}
+	var ids []string
+	for lo := 0; lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		c.nextID++
+		sh := &shard{
+			task: ShardTask{
+				ID:    fmt.Sprintf("%.12s.%d.%d", key, phase, c.nextID),
+				Key:   key,
+				Req:   req,
+				Phase: phase,
+				Lo:    lo,
+				Hi:    hi,
+			},
+			run: run,
+		}
+		run.remaining++
+		c.pending = append(c.pending, sh)
+		ids = append(ids, sh.task.ID)
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("dist: campaign %.12s phase %d: %d units in %d shards across %d live workers",
+		key, phase, total, len(ids), live)
+
+	select {
+	case <-run.done:
+		return run.counts, run.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.finishRunLocked(run, ctx.Err())
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// finishRunLocked resolves a run exactly once and strips its shards from the
+// queues; late results for them are ignored (or, post-success, harmlessly
+// redundant — counts are deterministic).
+func (c *Coordinator) finishRunLocked(run *campaignRun, err error) {
+	if run.finished {
+		return
+	}
+	run.finished = true
+	run.err = err
+	kept := c.pending[:0]
+	for _, sh := range c.pending {
+		if sh.run != run {
+			kept = append(kept, sh)
+		}
+	}
+	c.pending = kept
+	for id, sh := range c.leased {
+		if sh.run == run {
+			delete(c.leased, id)
+		}
+	}
+	close(run.done)
+}
+
+// register admits a new worker. It fails while draining: a terminating
+// coordinator must not accrete fleet.
+func (c *Coordinator) register(name string) (registerResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return registerResponse{}, errDraining
+	}
+	c.nextID++
+	w := &workerState{
+		id:       fmt.Sprintf("w-%d", c.nextID),
+		name:     name,
+		lastSeen: time.Now(),
+	}
+	c.workers[w.id] = w
+	c.cfg.Logf("dist: worker %s (%q) registered", w.id, w.name)
+	return registerResponse{
+		ID:          w.id,
+		LeaseMillis: c.cfg.LeaseTTL.Milliseconds(),
+		PollMillis:  c.cfg.Poll.Milliseconds(),
+	}, nil
+}
+
+// touchLocked refreshes a worker's liveness and its lease deadlines.
+func (c *Coordinator) touchLocked(w *workerState, now time.Time) {
+	w.lastSeen = now
+	for _, sh := range c.leased {
+		if sh.worker == w.id {
+			sh.deadline = now.Add(c.cfg.LeaseTTL)
+		}
+	}
+}
+
+// heartbeat keeps a worker (and its leases) alive. Unknown IDs report false
+// so the worker re-registers — the coordinator may have restarted.
+func (c *Coordinator) heartbeat(workerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return false
+	}
+	c.touchLocked(w, time.Now())
+	return true
+}
+
+// lease hands the oldest pending shard to a worker, or nil when the queue is
+// empty. Leasing (like any contact) refreshes the worker's liveness.
+func (c *Coordinator) lease(workerID string) (*ShardTask, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	now := time.Now()
+	c.touchLocked(w, now)
+	if len(c.pending) == 0 {
+		return nil, nil
+	}
+	sh := c.pending[0]
+	c.pending = c.pending[1:]
+	sh.worker = workerID
+	sh.deadline = now.Add(c.cfg.LeaseTTL)
+	c.leased[sh.task.ID] = sh
+	task := sh.task
+	return &task, nil
+}
+
+// result merges a completed shard (or records its failure). Stale results —
+// for runs already finished or tasks this coordinator no longer tracks —
+// are dropped: determinism makes duplicates harmless, so no error surfaces.
+func (c *Coordinator) result(workerID string, res ShardResult) {
+	c.mu.Lock()
+	now := time.Now()
+	w := c.workers[workerID]
+	if w != nil {
+		c.touchLocked(w, now)
+	}
+	sh, ok := c.leased[res.Task]
+	if !ok {
+		// A re-queued shard (expired lease) being answered by its original,
+		// slow-but-alive worker: still mergeable, pull it out of pending.
+		for i, p := range c.pending {
+			if p.task.ID == res.Task {
+				sh, ok = p, true
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	if !ok || sh.run.finished {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.leased, res.Task)
+	run := sh.run
+
+	if res.Error != "" || len(res.Counts) != sh.task.Hi-sh.task.Lo {
+		msg := res.Error
+		if msg == "" {
+			msg = fmt.Sprintf("shard %s returned %d counts for %d units", res.Task, len(res.Counts), sh.task.Hi-sh.task.Lo)
+		}
+		sh.attempts++
+		c.cfg.Logf("dist: shard %s failed on %s (attempt %d/%d): %s", res.Task, workerID, sh.attempts, c.cfg.MaxAttempts, msg)
+		if sh.attempts >= c.cfg.MaxAttempts {
+			c.finishRunLocked(run, fmt.Errorf("dist: shard %s failed after %d attempts: %s", res.Task, sh.attempts, msg))
+		} else {
+			sh.worker = ""
+			c.pending = append(c.pending, sh)
+		}
+		c.mu.Unlock()
+		return
+	}
+
+	copy(run.counts[sh.task.Lo:sh.task.Hi], res.Counts)
+	if w != nil {
+		w.shards++
+	}
+	run.remaining--
+	run.doneUnits += sh.task.Hi - sh.task.Lo
+	doneUnits, total := run.doneUnits, run.total
+	progress := run.progress
+	if run.remaining == 0 {
+		c.finishRunLocked(run, nil)
+	}
+	c.mu.Unlock()
+	if progress != nil {
+		progress(doneUnits, total)
+	}
+}
+
+// janitor periodically re-queues expired leases, fails stranded runs when
+// the whole fleet is gone (the service then falls back to local execution),
+// and prunes long-dead workers.
+func (c *Coordinator) janitor() {
+	tick := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-tick.C:
+			c.expire(now)
+		}
+	}
+}
+
+// expire is one janitor pass.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	for id, sh := range c.leased {
+		if now.After(sh.deadline) {
+			c.cfg.Logf("dist: lease on shard %s expired (worker %s silent); re-queueing", id, sh.worker)
+			delete(c.leased, id)
+			sh.worker = ""
+			c.pending = append(c.pending, sh)
+		}
+	}
+	if c.liveWorkersLocked(now) == 0 {
+		// No fleet left: strand nothing. Fail the runs behind the pending
+		// shards so their campaigns fall back to local execution.
+		runs := map[*campaignRun]bool{}
+		for _, sh := range c.pending {
+			runs[sh.run] = true
+		}
+		for run := range runs {
+			c.finishRunLocked(run, service.ErrNoWorkers)
+		}
+	}
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > 20*c.cfg.LeaseTTL {
+			delete(c.workers, id) // long dead: drop from the registry/metrics
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,78 @@
+// Package dist is the distributed campaign execution layer: a coordinator
+// that shards a campaign batch's flattened (campaign, round) unit index
+// space into contiguous ranges and farms them out over HTTP+JSON to a fleet
+// of wfworker nodes, plus the worker loop those nodes run.
+//
+// The design leans entirely on the scheduler's determinism guarantee
+// (internal/faultsim): every unit's result is a pure function of (seed,
+// round, node), so per-unit agreement counts computed on any machine are
+// bit-identical to a local run's, and merging shard count slices in unit
+// index order before the index-ordered reduction reproduces the exact bytes
+// a single process would cache. Shard count, worker arrival order, worker
+// death and re-leasing can therefore never change a result — only its
+// wall-clock time. See DESIGN.md "Distributed execution".
+//
+// Topology: workers pull. A worker registers with the coordinator, then
+// polls for shard leases and posts back per-unit counts; a heartbeat keeps
+// its registration and leases fresh. Leases expire — a worker that dies or
+// goes silent past the lease TTL has its shards re-queued and re-leased to
+// the surviving fleet. The coordinator never dials workers, so nodes behind
+// NAT or ephemeral containers join with zero configuration.
+package dist
+
+import (
+	winofault "repro"
+)
+
+// Campaign phases a shard task can belong to. A campaign request yields one
+// sweep batch and, when Layers is set, one layer-sensitivity batch; the two
+// have independent unit index spaces, so tasks name theirs explicitly.
+const (
+	// PhaseSweep is the BER sweep batch (unit space of SweepUnits).
+	PhaseSweep = 0
+	// PhaseLayers is the layer-sensitivity batch at the sweep's middle BER
+	// (unit space of LayerUnits).
+	PhaseLayers = 1
+)
+
+// registerRequest is the body of POST /workers.
+type registerRequest struct {
+	Name string `json:"name"`
+}
+
+// registerResponse assigns the worker its ID and the coordinator's timing
+// contract: heartbeat well inside LeaseMillis or lose registration and
+// leases; poll for work roughly every PollMillis when idle.
+type registerResponse struct {
+	ID          string `json:"id"`
+	LeaseMillis int64  `json:"leaseMillis"`
+	PollMillis  int64  `json:"pollMillis"`
+}
+
+// ShardTask is one leased unit range of a campaign phase. The worker
+// re-canonicalizes Req (service.Key) and refuses the task unless its own
+// key equals Key — both sides must agree on the campaign's identity before
+// any counts are trusted.
+type ShardTask struct {
+	// ID names this shard; it is stable across re-leases, so a result from
+	// a presumed-dead worker that raced a re-lease is still mergeable (the
+	// counts are bit-identical by determinism — first one in wins).
+	ID string `json:"id"`
+	// Key is the campaign's content address (service.Key of Req).
+	Key string `json:"key"`
+	// Req is the full campaign spec; the worker rebuilds the system from it.
+	Req winofault.CampaignRequest `json:"req"`
+	// Phase selects the unit index space (PhaseSweep or PhaseLayers).
+	Phase int `json:"phase"`
+	// Lo, Hi bound the unit range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// ShardResult is the body of POST /workers/{id}/result: the per-unit
+// agreement counts of a completed shard, or the error that prevented them.
+type ShardResult struct {
+	Task   string `json:"task"`
+	Counts []int  `json:"counts,omitempty"`
+	Error  string `json:"error,omitempty"`
+}

@@ -1,0 +1,324 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	winofault "repro"
+	"repro/internal/service"
+)
+
+// WorkerConfig configures one fleet node (cmd/wfworker).
+type WorkerConfig struct {
+	// Server is the coordinator's base URL (the wfserve address).
+	Server string
+	// Name labels this node in logs and /metrics (default: anonymous).
+	Name string
+	// Workers is the faultsim parallelism used per shard (0 = GOMAXPROCS).
+	// Like everywhere else it changes wall-clock time, never counts.
+	Workers int
+	// Logf receives worker events (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins the fleet at cfg.Server and processes shard leases until
+// ctx is canceled: register, heartbeat, lease-execute-report. Connection
+// errors, coordinator restarts and drains are survived by backing off and
+// re-registering — the worker is stateless between shards except for a
+// small LRU of built systems keyed by campaign content address.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	base := cfg.Server
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("dist: worker server %q: %w", cfg.Server, err)
+	}
+	w := &fleetWorker{cfg: cfg, base: u, hc: &http.Client{}}
+	for {
+		if err := w.session(ctx); err != nil {
+			return err
+		}
+		// session only returns without error to re-register (lapsed
+		// registration or coordinator restart); pause briefly first.
+		if !sleepCtx(ctx, w.backoff()) {
+			return ctx.Err()
+		}
+	}
+}
+
+// fleetWorker is the state of one RunWorker loop.
+type fleetWorker struct {
+	cfg  WorkerConfig
+	base *url.URL
+	hc   *http.Client
+
+	id    string
+	lease time.Duration // coordinator's lease TTL
+	poll  time.Duration // idle poll interval
+	fails int           // consecutive connection/5xx failures, for backoff
+
+	// Built systems cached by campaign content address: a campaign's shards
+	// arrive back to back (often both phases), and rebuilding the network
+	// per shard would dwarf small unit ranges. A few slots (not one) so the
+	// interleaved shard streams of a multi-job coordinator don't thrash it.
+	// Touched only by the single lease/execute goroutine.
+	sysCache map[string]*winofault.System
+	sysOrder []string // LRU, most recent last
+}
+
+// sysCacheSize bounds cached systems per worker; coordinators run few
+// campaigns concurrently (wfserve -jobs, default 1), so a handful covers
+// realistic interleavings.
+const sysCacheSize = 4
+
+// backoff grows with consecutive failures, capped at 2s.
+func (w *fleetWorker) backoff() time.Duration {
+	d := 100 * time.Millisecond << min(w.fails, 4)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (w *fleetWorker) endpoint(path string) string {
+	u := *w.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	return u.String()
+}
+
+// postJSON posts body (or nothing) and decodes a JSON reply into out when
+// non-nil. It returns the HTTP status; transport errors return 0.
+func (w *fleetWorker) postJSON(ctx context.Context, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.endpoint(path), rd)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// session is one registration's lifetime: register, then lease/execute until
+// ctx ends (error) or the registration lapses (nil — caller re-registers).
+func (w *fleetWorker) session(ctx context.Context) error {
+	var resp registerResponse
+	for {
+		code, err := w.postJSON(ctx, "/workers", registerRequest{Name: w.cfg.Name}, &resp)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err == nil && code == http.StatusOK && resp.ID != "" {
+			break
+		}
+		w.fails++
+		w.cfg.Logf("dist: worker %q: register against %s failed (status %d, err %v); retrying", w.cfg.Name, w.base, code, err)
+		if !sleepCtx(ctx, w.backoff()) {
+			return ctx.Err()
+		}
+	}
+	w.fails = 0
+	w.id = resp.ID
+	w.lease = time.Duration(resp.LeaseMillis) * time.Millisecond
+	if w.lease <= 0 {
+		w.lease = 15 * time.Second
+	}
+	w.poll = time.Duration(resp.PollMillis) * time.Millisecond
+	if w.poll <= 0 {
+		w.poll = 500 * time.Millisecond
+	}
+	w.cfg.Logf("dist: worker %q registered as %s (lease %s, poll %s)", w.cfg.Name, w.id, w.lease, w.poll)
+	return w.leaseLoop(ctx)
+}
+
+func (w *fleetWorker) leaseLoop(ctx context.Context) error {
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go w.heartbeatLoop(ctx, hbStop)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var task ShardTask
+		code, err := w.postJSON(ctx, "/workers/"+w.id+"/lease", nil, &task)
+		switch {
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case err != nil || code >= 500 || code == 0:
+			w.fails++
+			if !sleepCtx(ctx, w.backoff()) {
+				return ctx.Err()
+			}
+		case code == http.StatusNotFound:
+			w.cfg.Logf("dist: worker %s: registration lapsed; re-registering", w.id)
+			return nil
+		case code == http.StatusNoContent:
+			w.fails = 0
+			if !sleepCtx(ctx, w.poll) {
+				return ctx.Err()
+			}
+		case code == http.StatusOK:
+			w.fails = 0
+			res := w.execute(ctx, task)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.report(ctx, res)
+		default:
+			w.fails++
+			if !sleepCtx(ctx, w.backoff()) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+func (w *fleetWorker) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
+	tick := time.NewTicker(w.lease / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			w.postJSON(ctx, "/workers/"+w.id+"/heartbeat", nil, nil)
+		}
+	}
+}
+
+// report delivers a shard result, retrying briefly: losing a computed shard
+// to a transient network blip would force a pointless re-execution.
+func (w *fleetWorker) report(ctx context.Context, res ShardResult) {
+	for attempt := 0; attempt < 4; attempt++ {
+		code, err := w.postJSON(ctx, "/workers/"+w.id+"/result", res, nil)
+		if err == nil && code < 500 && code != 0 {
+			return
+		}
+		if !sleepCtx(ctx, w.backoff()) {
+			return
+		}
+	}
+	w.cfg.Logf("dist: worker %s: dropping result for shard %s (coordinator unreachable); it will be re-leased", w.id, res.Task)
+}
+
+// execute runs one shard: re-canonicalize the campaign spec, rebuild (or
+// reuse) the system, compute the unit range's agreement counts.
+func (w *fleetWorker) execute(ctx context.Context, task ShardTask) ShardResult {
+	res := ShardResult{Task: task.ID}
+	// Re-canonicalization is the trust boundary: the worker derives the
+	// content address itself (with the shared service validation) and
+	// refuses to compute under a key it does not agree describes the spec.
+	key, err := service.Key(task.Req)
+	if err != nil {
+		res.Error = fmt.Sprintf("invalid campaign spec: %v", err)
+		return res
+	}
+	if key != task.Key {
+		res.Error = fmt.Sprintf("campaign key mismatch: coordinator says %.12s, spec canonicalizes to %.12s", task.Key, key)
+		return res
+	}
+	sys, err := w.system(key, task.Req)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	var counts []int
+	switch task.Phase {
+	case PhaseSweep:
+		counts, err = sys.SweepUnitCounts(ctx, task.Req.BERs, task.Lo, task.Hi)
+	case PhaseLayers:
+		mid := task.Req.BERs[len(task.Req.BERs)/2]
+		counts, err = sys.LayerUnitCounts(ctx, mid, task.Lo, task.Hi)
+	default:
+		err = fmt.Errorf("unknown campaign phase %d", task.Phase)
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Counts = counts
+	return res
+}
+
+// system returns the cached system for key, or builds one (evicting the
+// least recently used entry beyond sysCacheSize).
+func (w *fleetWorker) system(key string, req winofault.CampaignRequest) (*winofault.System, error) {
+	if sys, ok := w.sysCache[key]; ok {
+		w.touchSys(key)
+		return sys, nil
+	}
+	cfg, err := req.SystemConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workers = w.cfg.Workers // scheduling only; never part of the key
+	sys, err := winofault.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SetProtection(req.Protection); err != nil {
+		return nil, err
+	}
+	if w.sysCache == nil {
+		w.sysCache = map[string]*winofault.System{}
+	}
+	w.sysCache[key] = sys
+	w.touchSys(key)
+	for len(w.sysOrder) > sysCacheSize {
+		delete(w.sysCache, w.sysOrder[0])
+		w.sysOrder = w.sysOrder[1:]
+	}
+	return sys, nil
+}
+
+// touchSys moves key to the most-recent end of the LRU order.
+func (w *fleetWorker) touchSys(key string) {
+	for i, k := range w.sysOrder {
+		if k == key {
+			w.sysOrder = append(w.sysOrder[:i], w.sysOrder[i+1:]...)
+			break
+		}
+	}
+	w.sysOrder = append(w.sysOrder, key)
+}

@@ -162,21 +162,72 @@ func (r *Runner) roundAgree(ec *nn.ExecContext, c *Campaign, convSet map[int]str
 	return agree
 }
 
-// AccuracyBatch measures every campaign in cs over the given number of
-// Monte-Carlo rounds (each round re-samples all faults over the whole
-// evaluation batch) and returns the accuracies in campaign order. The
-// (campaign, round) units run on a shared worker pool sized by the largest
-// Workers option in the batch; per-unit agreement counts are written to
-// indexed slots and reduced in index order afterwards, so the returned
-// accuracies are bit-identical for any worker count.
+// unit is one flattened (campaign, Monte-Carlo round) work item. The unit
+// index space of a batch is a pure function of (cs, rounds) — campaigns in
+// order, each contributing `rounds` consecutive units, BER <= 0 campaigns
+// contributing none — so every party that can reconstruct the batch agrees
+// on which unit an index denotes. That is what makes the space shardable
+// across machines (see internal/dist).
+type unit struct {
+	c     int
+	round int
+}
+
+// clampRounds mirrors AccuracyBatch's historical behavior: fewer than one
+// round means one round. Every unit-space function applies it so Units,
+// UnitCounts and Reduce always describe the same flattening.
+func clampRounds(rounds int) int {
+	if rounds < 1 {
+		return 1
+	}
+	return rounds
+}
+
+// flattenUnits builds the unit index space of a batch, skipping BER <= 0
+// campaigns (their accuracy is exactly 1 with no faults to sample).
+func flattenUnits(cs []Campaign, rounds int) []unit {
+	rounds = clampRounds(rounds)
+	var units []unit
+	for i := range cs {
+		if cs[i].BER <= 0 {
+			continue
+		}
+		for round := 0; round < rounds; round++ {
+			units = append(units, unit{c: i, round: round})
+		}
+	}
+	return units
+}
+
+// Units reports the size of a batch's flattened (campaign, round) unit index
+// space — the domain of UnitCounts ranges.
+func Units(cs []Campaign, rounds int) int {
+	rounds = clampRounds(rounds)
+	n := 0
+	for i := range cs {
+		if cs[i].BER > 0 {
+			n += rounds
+		}
+	}
+	return n
+}
+
+// UnitCounts executes units [lo, hi) of the batch's flattened index space
+// and returns their golden-agreement counts in unit order (result[i] is the
+// count of unit lo+i). Each unit's randomness derives solely from its
+// (campaign seed, round) identity, so counts for a range are bit-identical
+// no matter which process computes them, with how many workers, or alongside
+// which other ranges — the property the distributed shard executor rests on.
+// The units run on the campaign scheduler's worker pool sized by the largest
+// Workers option in the batch.
 //
 // Canceling ctx stops the scheduler from claiming further units; the call
-// returns promptly with partial (meaningless) accuracies. Callers that can
-// be canceled must check ctx.Err() before using the result — every caller
-// that caches or publishes results does.
-func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) []float64 {
-	if rounds < 1 {
-		rounds = 1
+// returns promptly with partial (meaningless) counts. Callers must check
+// ctx.Err() before using the result.
+func (r *Runner) UnitCounts(ctx context.Context, cs []Campaign, rounds, lo, hi int) []int {
+	units := flattenUnits(cs, rounds)
+	if lo < 0 || hi < lo || hi > len(units) {
+		panic(fmt.Sprintf("faultsim: unit range [%d, %d) outside [0, %d)", lo, hi, len(units)))
 	}
 	workers := 1
 	for i := range cs {
@@ -195,24 +246,8 @@ func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) [
 		convSet[li] = struct{}{}
 	}
 
-	// Flatten to (campaign, round) units, skipping BER <= 0 campaigns (their
-	// accuracy is exactly 1 with no faults to sample).
-	type unit struct {
-		c     int
-		round int
-	}
-	var units []unit
-	for i := range cs {
-		if cs[i].BER <= 0 {
-			continue
-		}
-		for round := 0; round < rounds; round++ {
-			units = append(units, unit{c: i, round: round})
-		}
-	}
-
 	// Progress is batch-level: the first campaign that asks for it observes
-	// every unit of the batch (campaigns in a batch complete together).
+	// every unit of the range (campaigns in a batch complete together).
 	var progress func(done, total int)
 	for i := range cs {
 		if cs[i].Opts.Progress != nil {
@@ -221,22 +256,36 @@ func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) [
 		}
 	}
 
-	agree := make([]int, len(units))
+	agree := make([]int, hi-lo)
 	var completed atomic.Int64
-	r.runUnits(ctx, workers, len(units), func(ec *nn.ExecContext, u int) {
-		agree[u] = r.roundAgree(ec, &cs[units[u].c], convSet, units[u].round)
+	r.runUnits(ctx, workers, hi-lo, func(ec *nn.ExecContext, u int) {
+		un := units[lo+u]
+		agree[u] = r.roundAgree(ec, &cs[un.c], convSet, un.round)
 		if progress != nil {
-			progress(int(completed.Add(1)), len(units))
+			progress(int(completed.Add(1)), hi-lo)
 		}
 	})
+	return agree
+}
 
+// Reduce folds a full batch's per-unit agreement counts (len(counts) ==
+// Units(cs, rounds), in unit-index order) into accuracies in campaign order.
+// The reduction is an index-ordered integer sum per campaign followed by one
+// float division, so merged shard counts reduce to exactly the bytes a
+// single-process run produces.
+func (r *Runner) Reduce(cs []Campaign, rounds int, counts []int) []float64 {
+	rounds = clampRounds(rounds)
+	units := flattenUnits(cs, rounds)
+	if len(counts) != len(units) {
+		panic(fmt.Sprintf("faultsim: %d counts for %d units", len(counts), len(units)))
+	}
 	out := make([]float64, len(cs))
 	for i := range out {
 		out[i] = 1
 	}
 	sums := make([]int, len(cs))
 	for u, un := range units {
-		sums[un.c] += agree[u]
+		sums[un.c] += counts[u]
 	}
 	total := rounds * len(r.golden)
 	for i := range cs {
@@ -247,6 +296,22 @@ func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) [
 	return out
 }
 
+// AccuracyBatch measures every campaign in cs over the given number of
+// Monte-Carlo rounds (each round re-samples all faults over the whole
+// evaluation batch) and returns the accuracies in campaign order. It is the
+// single-process composition of the shardable primitives: UnitCounts over
+// the full unit range, then the index-ordered Reduce — so the returned
+// accuracies are bit-identical for any worker count, and identical to any
+// sharded execution of the same batch.
+//
+// Canceling ctx stops the scheduler from claiming further units; the call
+// returns promptly with partial (meaningless) accuracies. Callers that can
+// be canceled must check ctx.Err() before using the result — every caller
+// that caches or publishes results does.
+func (r *Runner) AccuracyBatch(ctx context.Context, cs []Campaign, rounds int) []float64 {
+	return r.Reduce(cs, rounds, r.UnitCounts(ctx, cs, rounds, 0, Units(cs, rounds)))
+}
+
 // Accuracy measures golden-agreement accuracy at one bit error rate over the
 // given number of Monte-Carlo rounds. The rounds run on the campaign
 // scheduler's worker pool (opts.Workers).
@@ -254,15 +319,23 @@ func (r *Runner) Accuracy(ctx context.Context, ber float64, opts Options, rounds
 	return r.AccuracyBatch(ctx, []Campaign{{BER: ber, Opts: opts}}, rounds)[0]
 }
 
-// Sweep evaluates accuracy across a BER range. All (BER point, round) units
-// run on one worker pool; out[i] always corresponds to bers[i] regardless of
-// completion order.
-func (r *Runner) Sweep(ctx context.Context, bers []float64, opts Options, rounds int) []Point {
+// SweepCampaigns builds the campaign batch of a BER sweep: one campaign per
+// point, in request order. Every process that shards or reduces a sweep
+// reconstructs the identical batch from (bers, opts) via this function, so
+// all of them agree on the flattened unit index space.
+func SweepCampaigns(bers []float64, opts Options) []Campaign {
 	cs := make([]Campaign, len(bers))
 	for i, ber := range bers {
 		cs[i] = Campaign{BER: ber, Opts: opts}
 	}
-	accs := r.AccuracyBatch(ctx, cs, rounds)
+	return cs
+}
+
+// Sweep evaluates accuracy across a BER range. All (BER point, round) units
+// run on one worker pool; out[i] always corresponds to bers[i] regardless of
+// completion order.
+func (r *Runner) Sweep(ctx context.Context, bers []float64, opts Options, rounds int) []Point {
+	accs := r.AccuracyBatch(ctx, SweepCampaigns(bers, opts), rounds)
 	out := make([]Point, len(bers))
 	for i, ber := range bers {
 		out[i] = Point{BER: ber, Accuracy: accs[i]}
@@ -284,6 +357,16 @@ type Point struct {
 // scheduled as one batch, so the whole analysis saturates the worker pool;
 // perLayer is keyed by node index and independent of evaluation order.
 func (r *Runner) LayerSensitivity(ctx context.Context, ber float64, opts Options, rounds int) (base float64, perLayer map[int]float64) {
+	cs := r.LayerCampaigns(ber, opts)
+	return r.layerReduce(r.AccuracyBatch(ctx, cs, rounds))
+}
+
+// LayerCampaigns builds the campaign batch of a layer-sensitivity analysis:
+// the all-faulty baseline first, then one campaign per conv node with that
+// node alone added to the fault-free set, in network order. Like
+// SweepCampaigns it is the shared batch constructor that coordinator and
+// shard workers both use, so they agree on the unit index space.
+func (r *Runner) LayerCampaigns(ber float64, opts Options) []Campaign {
 	conv := r.Net.ConvNodes()
 	cs := make([]Campaign, 1+len(conv))
 	cs[0] = Campaign{BER: ber, Opts: opts}
@@ -295,10 +378,25 @@ func (r *Runner) LayerSensitivity(ctx context.Context, ber float64, opts Options
 		}
 		cs[1+i] = Campaign{BER: ber, Opts: o}
 	}
-	accs := r.AccuracyBatch(ctx, cs, rounds)
+	return cs
+}
+
+// layerReduce maps a LayerCampaigns accuracy vector back to (baseline,
+// per-conv-node accuracy).
+func (r *Runner) layerReduce(accs []float64) (base float64, perLayer map[int]float64) {
+	conv := r.Net.ConvNodes()
 	perLayer = make(map[int]float64, len(conv))
 	for i, li := range conv {
 		perLayer[li] = accs[1+i]
 	}
 	return accs[0], perLayer
+}
+
+// LayerSensitivityFromCounts reduces a full set of per-unit agreement counts
+// for the LayerCampaigns(ber, opts) batch — typically merged from shards —
+// into the same (baseline, per-layer) result LayerSensitivity computes,
+// bit-identically.
+func (r *Runner) LayerSensitivityFromCounts(ber float64, opts Options, rounds int, counts []int) (base float64, perLayer map[int]float64) {
+	cs := r.LayerCampaigns(ber, opts)
+	return r.layerReduce(r.Reduce(cs, rounds, counts))
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache is the content-addressed result store: an in-memory LRU over the
@@ -17,6 +18,11 @@ import (
 // back into the LRU on the next Get, so a restarted or memory-pressured
 // server still answers warm requests in O(1) campaign work.
 type Cache struct {
+	// hits/misses count Get outcomes (memory and disk tiers together) for
+	// /metrics. Internal re-checks (getMemory) are not counted: one logical
+	// lookup is one count.
+	hits, misses atomic.Int64
+
 	mu      sync.Mutex
 	max     int
 	ll      *list.List // front = most recently used
@@ -50,18 +56,28 @@ func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json
 // directory on a memory miss (and promoting the loaded entry).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if data, ok := c.getMemory(key); ok {
+		c.hits.Add(1)
 		return data, true
 	}
 	if c.dir == "" {
+		c.misses.Add(1)
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.insert(key, data)
+	c.hits.Add(1)
 	return data, true
 }
+
+// Hits reports how many Get probes found their key (memory or disk).
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses reports how many Get probes found nothing.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
 
 // getMemory is the I/O-free half of Get: the in-memory LRU alone, for
 // callers that hold locks they must not sleep under.

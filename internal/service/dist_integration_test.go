@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	winofault "repro"
+)
+
+// stubDistributor scripts Distributor behavior for fallback tests.
+type stubDistributor struct {
+	data    []byte
+	err     error
+	report  func(progress func(int, int, int)) // optional progress script
+	workers []WorkerStat
+	runs    int
+}
+
+func (d *stubDistributor) Run(ctx context.Context, key string, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+	d.runs++
+	if d.report != nil {
+		d.report(progress)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d.data, nil
+}
+
+func (d *stubDistributor) Workers() []WorkerStat { return d.workers }
+
+// distService builds a service whose distributed path is the stub and whose
+// local path records whether it ran.
+func distService(t *testing.T, d *stubDistributor, localRan *int) *Service {
+	t.Helper()
+	s, err := New(quiet(Config{Jobs: 1, QueueDepth: 8, Distributor: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.local = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		*localRan++
+		return []byte(`{"points":[{"ber":0,"accuracy":1}]}`), nil
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	return s
+}
+
+// TestDistributedResultSkipsLocal: a successful fleet run is the job's
+// result; the local engine never spins up.
+func TestDistributedResultSkipsLocal(t *testing.T) {
+	localRan := 0
+	d := &stubDistributor{data: []byte(`{"points":[]}`)}
+	s := distService(t, d, &localRan)
+	j, err := s.Submit(sweepReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"points":[]}` {
+		t.Errorf("job served %q, want the distributed result", data)
+	}
+	if d.runs != 1 || localRan != 0 {
+		t.Errorf("dist ran %d times, local %d times; want 1 and 0", d.runs, localRan)
+	}
+}
+
+// TestNoWorkersFallsBackToLocal: ErrNoWorkers silently reroutes to the
+// in-process engine — distribution is an optimization, not a dependency.
+func TestNoWorkersFallsBackToLocal(t *testing.T) {
+	localRan := 0
+	s := distService(t, &stubDistributor{err: ErrNoWorkers}, &localRan)
+	j, err := s.Submit(sweepReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if localRan != 1 {
+		t.Errorf("local ran %d times, want 1", localRan)
+	}
+}
+
+// TestDistFailureFallsBackToLocal: any fleet failure (worker crashes, shard
+// retry exhaustion) falls back to local execution — the campaign still
+// completes with identical bytes.
+func TestDistFailureFallsBackToLocal(t *testing.T) {
+	localRan := 0
+	s := distService(t, &stubDistributor{err: errors.New("fleet evaporated")}, &localRan)
+	j, err := s.Submit(sweepReq(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if localRan != 1 {
+		t.Errorf("local ran %d times, want 1", localRan)
+	}
+}
+
+// TestFallbackProgressNotSuppressed: a distributor that already published
+// late-batch progress must not freeze the local fallback's reports — the
+// re-run gets fresh batch numbers past Job.progress's monotonic guard.
+func TestFallbackProgressNotSuppressed(t *testing.T) {
+	d := &stubDistributor{
+		err: errors.New("fleet evaporated mid-layers"),
+		report: func(progress func(int, int, int)) {
+			progress(1, 5, 5) // distributed run reached the layer phase
+		},
+	}
+	s, err := New(quiet(Config{Jobs: 1, QueueDepth: 8, Distributor: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localProgressed := make(chan struct{})
+	s.local = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		progress(0, 1, 3) // the local re-run starts over at its sweep batch
+		close(localProgressed)
+		return []byte(`{}`), nil
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	j, err := s.Submit(sweepReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-localProgressed
+	// The final pre-completion snapshot must reflect the local run's 1/3,
+	// not the fleet's stale 5/5.
+	if st := j.Status(); st.Done != 1 || st.Total != 3 {
+		t.Errorf("fallback progress suppressed: %d/%d, want 1/3", st.Done, st.Total)
+	}
+}
+
+// TestCanceledDistDoesNotFallBack: when the campaign itself was canceled,
+// falling back to local would resurrect canceled work.
+func TestCanceledDistDoesNotFallBack(t *testing.T) {
+	localRan := 0
+	d := &stubDistributor{}
+	s, err := New(quiet(Config{Jobs: 1, QueueDepth: 8, Distributor: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := make(chan struct{})
+	d.err = context.Canceled
+	s.run = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		<-canceled // the DELETE below lands before the distributor "runs"
+		return s.runCampaign(ctx, req, progress)
+	}
+	s.local = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		localRan++
+		return []byte(`{}`), nil
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	j, err := s.Submit(sweepReq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel(j.Key)
+	close(canceled)
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job resolved with %v", err)
+	}
+	if localRan != 0 {
+		t.Errorf("canceled campaign fell back to local execution")
+	}
+}
+
+// TestHealthzReportsDrainState: serving is a 200 "serving", a draining
+// coordinator answers 503 "draining" so load balancers and fleet workers
+// stop routing to it, and new submissions are refused.
+func TestHealthzReportsDrainState(t *testing.T) {
+	s, ts := testServer(t, Config{Jobs: 1, QueueDepth: 8})
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, `"state":"serving"`) {
+		t.Errorf("serving healthz = %d %q", code, body)
+	}
+	s.BeginDrain()
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, `"state":"draining"`) {
+		t.Errorf("draining healthz = %d %q", code, body)
+	}
+	if _, err := s.Submit(tinyReq()); !errors.Is(err, ErrClosed) {
+		t.Errorf("submission during drain returned %v, want ErrClosed", err)
+	}
+}
+
+// TestMetricsEndpoint: the Prometheus text surface carries queue/cache
+// counters and the per-worker shard counts of the fleet.
+func TestMetricsEndpoint(t *testing.T) {
+	d := &stubDistributor{
+		data: []byte(`{"points":[]}`),
+		workers: []WorkerStat{
+			{ID: "w-1", Name: "alpha", Live: true, Shards: 3},
+			{ID: "w-2", Name: "beta", Live: false, Shards: 2},
+		},
+	}
+	s, err := New(quiet(Config{Jobs: 1, QueueDepth: 8, Distributor: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(hts.Close)
+	ts := hts.URL
+
+	// One miss (fresh submit) then one hit (resubmit after completion).
+	j, err := s.Submit(sweepReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(sweepReq(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics returned %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"wfserve_queue_depth 0",
+		"wfserve_jobs_inflight 0",
+		"wfserve_cache_hits_total 1",
+		"wfserve_draining 0",
+		"wfserve_workers_live 1",
+		`wfserve_worker_shards_total{worker="alpha",id="w-1"} 3`,
+		`wfserve_worker_shards_total{worker="beta",id="w-2"} 2`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(string(body), "wfserve_cache_misses_total") {
+		t.Errorf("/metrics missing miss counter:\n%s", body)
+	}
+}

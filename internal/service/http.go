@@ -21,19 +21,78 @@ import (
 //	                              design: coalesced waiters on the same
 //	                              content address all observe the abort and
 //	                              may resubmit (see Service.Cancel)
-//	GET    /healthz               liveness
+//	GET    /healthz               liveness + drain state: 200 {"ok":true,
+//	                              "state":"serving"} while accepting work,
+//	                              503 {"ok":false,"state":"draining"} once
+//	                              shutdown has begun — load balancers and
+//	                              fleet workers stop routing on the 503
+//	GET    /metrics               Prometheus text format: queue depth,
+//	                              in-flight jobs, cache hit/miss counters,
+//	                              per-worker shard counts
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	return mux
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ok":false,"state":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"ok":true,"state":"serving"}`)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintln(w, "# HELP wfserve_queue_depth Campaigns waiting in the bounded job queue.")
+	fmt.Fprintln(w, "# TYPE wfserve_queue_depth gauge")
+	fmt.Fprintf(w, "wfserve_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintln(w, "# HELP wfserve_jobs_inflight Campaigns currently executing.")
+	fmt.Fprintln(w, "# TYPE wfserve_jobs_inflight gauge")
+	fmt.Fprintf(w, "wfserve_jobs_inflight %d\n", st.Inflight)
+	fmt.Fprintln(w, "# HELP wfserve_cache_hits_total Content-addressed cache probes that found a result.")
+	fmt.Fprintln(w, "# TYPE wfserve_cache_hits_total counter")
+	fmt.Fprintf(w, "wfserve_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintln(w, "# HELP wfserve_cache_misses_total Content-addressed cache probes that found nothing.")
+	fmt.Fprintln(w, "# TYPE wfserve_cache_misses_total counter")
+	fmt.Fprintf(w, "wfserve_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintln(w, "# HELP wfserve_draining Whether shutdown has begun (healthz reports 503).")
+	fmt.Fprintln(w, "# TYPE wfserve_draining gauge")
+	fmt.Fprintf(w, "wfserve_draining %d\n", boolGauge(s.Draining()))
+	if st.Workers == nil {
+		return
+	}
+	live := 0
+	for _, ws := range st.Workers {
+		if ws.Live {
+			live++
+		}
+	}
+	fmt.Fprintln(w, "# HELP wfserve_workers_live Fleet workers with a fresh heartbeat.")
+	fmt.Fprintln(w, "# TYPE wfserve_workers_live gauge")
+	fmt.Fprintf(w, "wfserve_workers_live %d\n", live)
+	fmt.Fprintln(w, "# HELP wfserve_worker_shards_total Shard results delivered per fleet worker.")
+	fmt.Fprintln(w, "# TYPE wfserve_worker_shards_total counter")
+	for _, ws := range st.Workers {
+		fmt.Fprintf(w, "wfserve_worker_shards_total{worker=%q,id=%q} %d\n", ws.Name, ws.ID, ws.Shards)
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -8,6 +8,7 @@ import (
 	"log"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	winofault "repro"
 )
@@ -32,12 +33,49 @@ type Config struct {
 	// Logf receives service events (default log.Printf; set to a no-op in
 	// tests).
 	Logf func(format string, args ...any)
+	// Distributor, when set, executes cache-miss campaigns across a remote
+	// worker fleet (see internal/dist). Distribution is an optimization,
+	// never a requirement: any distributed failure other than the campaign's
+	// own cancellation falls back to local execution, which produces
+	// bit-identical bytes by the scheduler's determinism guarantee.
+	Distributor Distributor
 }
 
-// Sentinel errors surfaced by Submit.
+// Distributor executes campaigns on a remote worker fleet by sharding their
+// flattened unit index space. Implementations must return bytes identical to
+// the local runner's for the same request (internal/dist achieves this by
+// merging per-unit agreement counts in index order) — the content-addressed
+// cache stores whichever path ran first.
+type Distributor interface {
+	// Run executes the campaign remotely. key is the campaign's content
+	// address (already validated by Submit); workers re-derive it from req
+	// to verify both sides agree on the campaign's identity. Returning
+	// ErrNoWorkers means no fleet is available and the caller should run
+	// locally.
+	Run(ctx context.Context, key string, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error)
+	// Workers reports the fleet for /metrics: every registered worker with
+	// its liveness and completed shard count.
+	Workers() []WorkerStat
+}
+
+// WorkerStat is one registered fleet worker as reported by /metrics.
+type WorkerStat struct {
+	ID   string
+	Name string
+	// Live reports a fresh heartbeat; dead workers stay listed (their shard
+	// counts remain part of the totals) until the registry prunes them.
+	Live bool
+	// Shards is the number of shard results this worker delivered.
+	Shards int64
+}
+
+// Sentinel errors surfaced by Submit and Distributor.Run.
 var (
 	ErrQueueFull = errors.New("service: job queue is full")
 	ErrClosed    = errors.New("service: shutting down")
+	// ErrNoWorkers reports that a Distributor has no live workers; the
+	// service transparently falls back to local execution.
+	ErrNoWorkers = errors.New("service: no live workers registered")
 )
 
 // maxFinished bounds how many finished jobs stay addressable for status
@@ -54,6 +92,14 @@ type Service struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// draining flips when shutdown begins: submissions are refused and
+	// /healthz reports "draining" so load balancers and fleet workers stop
+	// routing here while in-flight work finishes.
+	draining atomic.Bool
+	// inflight counts campaigns currently executing on worker goroutines
+	// (exported via /metrics).
+	inflight atomic.Int64
+
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*Job // queued, running, and a bounded tail of finished
@@ -66,6 +112,10 @@ type Service struct {
 	// callback tags each report with a batch sequence number (0 = sweep,
 	// 1 = layer sensitivity) so phases with equal unit totals stay distinct.
 	run func(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error)
+	// local is the in-process execution path runCampaign falls back to when
+	// distribution is off or fails; tests substitute it to observe fallback
+	// decisions without real forward passes.
+	local func(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error)
 }
 
 // New builds and starts a service; stop it with Close.
@@ -96,6 +146,7 @@ func New(cfg Config) (*Service, error) {
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
 	s.run = s.runCampaign
+	s.local = s.runLocal
 	for i := 0; i < cfg.Jobs; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -121,7 +172,7 @@ func (s *Service) Submit(req winofault.CampaignRequest) (*Job, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		return nil, ErrClosed
 	}
 	if j, ok := s.jobs[key]; ok {
@@ -225,7 +276,9 @@ func (s *Service) worker() {
 
 func (s *Service) runJob(j *Job) {
 	j.setRunning()
+	s.inflight.Add(1)
 	data, err := s.runGuarded(j)
+	s.inflight.Add(-1)
 	if err == nil {
 		if cerr := j.ctx.Err(); cerr != nil {
 			// Belt and braces: a canceled campaign must never be cached,
@@ -267,8 +320,40 @@ func (s *Service) runGuarded(j *Job) (data []byte, err error) {
 	return s.run(j.ctx, j.req, j.progress)
 }
 
-// runCampaign executes one real campaign through the winofault facade.
+// runCampaign executes one real campaign: across the worker fleet when a
+// Distributor with live workers is configured, locally otherwise. The two
+// paths produce byte-identical results (merged shard counts reduce in unit
+// index order, exactly as the local scheduler does), so falling back is
+// always safe — a fleet failure costs wall-clock time, never correctness.
 func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
+	if d := s.cfg.Distributor; d != nil {
+		// Key cannot fail here: Submit already canonicalized this request.
+		key, err := Key(req)
+		if err != nil {
+			return nil, err
+		}
+		data, derr := d.Run(ctx, key, req, progress)
+		if derr == nil {
+			return data, nil
+		}
+		if ctx.Err() != nil {
+			return nil, derr
+		}
+		if !errors.Is(derr, ErrNoWorkers) {
+			s.cfg.Logf("service: distributed campaign %.12s failed (%v); falling back to local execution", key, derr)
+		}
+		// The distributed attempt may already have published batch 0/1
+		// progress; Job.progress is batch-monotonic, so the local re-run
+		// reports under fresh batch numbers or its early progress would be
+		// suppressed (frozen SSE/status) until it overtook the fleet's.
+		inner := progress
+		progress = func(batch, done, total int) { inner(batch+2, done, total) }
+	}
+	return s.local(ctx, req, progress)
+}
+
+// runLocal executes one campaign in-process through the winofault facade.
+func (s *Service) runLocal(ctx context.Context, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
 	// The request's own worker ask is honored only up to the service's
 	// per-job budget; the budget is the default.
 	req.Workers = clampWorkers(req.Workers, s.cfg.Workers)
@@ -316,12 +401,49 @@ func clampWorkers(ask, budget int) int {
 	return ask
 }
 
+// BeginDrain flips the service into its terminating state without stopping
+// work: subsequent submissions fail with ErrClosed, /healthz reports
+// "draining" with a 503 (so load balancers and fleet workers stop routing
+// here), and in-flight jobs keep running until Close. Calling it more than
+// once is harmless.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether shutdown has begun (BeginDrain or Close).
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Stats is the /metrics snapshot of the service.
+type Stats struct {
+	// QueueDepth is the number of campaigns waiting in the bounded queue.
+	QueueDepth int
+	// Inflight is the number of campaigns currently executing.
+	Inflight int64
+	// CacheHits / CacheMisses count content-addressed cache probes.
+	CacheHits, CacheMisses int64
+	// Workers is the distributed fleet (nil without a Distributor).
+	Workers []WorkerStat
+}
+
+// Stats snapshots the service counters for the /metrics endpoint.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		QueueDepth:  len(s.queue),
+		Inflight:    s.inflight.Load(),
+		CacheHits:   s.cache.Hits(),
+		CacheMisses: s.cache.Misses(),
+	}
+	if s.cfg.Distributor != nil {
+		st.Workers = s.cfg.Distributor.Workers()
+	}
+	return st
+}
+
 // Close drains the service: no new submissions are accepted, queued and
 // running jobs finish normally, then workers exit. If ctx is canceled while
 // draining, every remaining job's context is canceled (their waiters see
 // context.Canceled, nothing reaches the cache) and Close returns ctx.Err()
 // once the workers have exited.
 func (s *Service) Close(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

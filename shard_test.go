@@ -1,0 +1,119 @@
+package winofault
+
+import (
+	"context"
+	"testing"
+)
+
+// TestShardedSweepBitIdentical: splitting a sweep's unit index space into
+// contiguous shards, computing each shard's counts independently (as remote
+// workers would) and reducing the merged counts must reproduce SweepCtx
+// bit-for-bit — the invariant the distributed campaign path rests on.
+func TestShardedSweepBitIdentical(t *testing.T) {
+	bers := []float64{0, 1e-9, 1e-8}
+	sys, err := New(testConfig(Winograd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.SweepCtx(context.Background(), bers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sys.SweepUnits(bers)
+	if total == 0 {
+		t.Fatal("sweep has no units")
+	}
+	for _, shards := range []int{1, 2, total} {
+		var counts []int
+		for sh := 0; sh < shards; sh++ {
+			lo, hi := sh*total/shards, (sh+1)*total/shards
+			// A fresh System per shard: shard workers never share state.
+			remote, err := New(testConfig(Winograd))
+			if err != nil {
+				t.Fatal(err)
+			}
+			part, err := remote.SweepUnitCounts(context.Background(), bers, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, part...)
+		}
+		got, err := sys.SweepFromCounts(bers, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%d shards: point %d = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedLayersBitIdentical extends the invariant to the
+// layer-sensitivity batch.
+func TestShardedLayersBitIdentical(t *testing.T) {
+	const ber = 3e-9
+	sys, err := New(testConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBase, wantLayers, err := sys.LayerSensitivitiesCtx(context.Background(), ber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sys.LayerUnits(ber)
+	var counts []int
+	for _, r := range [][2]int{{0, total / 2}, {total / 2, total}} {
+		remote, err := New(testConfig(Direct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := remote.LayerUnitCounts(context.Background(), ber, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, part...)
+	}
+	base, layers, err := sys.LayersFromCounts(ber, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != wantBase {
+		t.Errorf("baseline %v, want %v", base, wantBase)
+	}
+	if len(layers) != len(wantLayers) {
+		t.Fatalf("layer count %d, want %d", len(layers), len(wantLayers))
+	}
+	for i := range wantLayers {
+		if layers[i] != wantLayers[i] {
+			t.Errorf("layer %d: %+v, want %+v", i, layers[i], wantLayers[i])
+		}
+	}
+}
+
+// TestShardRangeAndCountErrors: wire-facing range/length mistakes are
+// errors, never panics.
+func TestShardRangeAndCountErrors(t *testing.T) {
+	bers := []float64{1e-9}
+	sys, err := New(testConfig(Direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sys.SweepUnits(bers)
+	if _, err := sys.SweepUnitCounts(context.Background(), bers, 0, total+1); err == nil {
+		t.Error("oversized range did not error")
+	}
+	if _, err := sys.SweepUnitCounts(context.Background(), bers, -1, 0); err == nil {
+		t.Error("negative range did not error")
+	}
+	if _, err := sys.SweepFromCounts(bers, make([]int, total+2)); err == nil {
+		t.Error("mismatched counts length did not error")
+	}
+	if _, _, err := sys.LayersFromCounts(1e-9, nil); err == nil {
+		t.Error("empty layer counts did not error")
+	}
+	if _, err := sys.LayerUnitCounts(context.Background(), 1e-9, 5, 2); err == nil {
+		t.Error("inverted layer range did not error")
+	}
+}

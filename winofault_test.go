@@ -154,6 +154,79 @@ func TestSemanticsSelection(t *testing.T) {
 	}
 }
 
+// TestFormatSweepGoldenBytes pins the exact rendered bytes of the canonical
+// accuracy table — the one renderer wfsim stdout and the wfserve
+// `?format=text` endpoint share, and that CI diffs byte-for-byte between
+// CLI, server and distributed runs. Any drift in the header, column widths,
+// float formatting or line endings fails here before it fails in CI.
+func TestFormatSweepGoldenBytes(t *testing.T) {
+	var b strings.Builder
+	FormatSweep(&b, []Point{
+		{BER: 0, Accuracy: 1},
+		{BER: 1e-10, Accuracy: 0.96875},
+		{BER: 3.5e-9, Accuracy: 0.5},
+		{BER: 1e-7, Accuracy: 0.0625},
+		{BER: 0.25, Accuracy: 0},
+	})
+	want := "BER          accuracy%\n" +
+		"0            100.00\n" +
+		"1e-10        96.88\n" +
+		"3.5e-09      50.00\n" +
+		"1e-07        6.25\n" +
+		"0.25         0.00\n"
+	if b.String() != want {
+		t.Errorf("FormatSweep bytes drifted:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+// TestFormatSweepGoldenCampaigns pins rendered tables for real campaigns —
+// a protected winograd VGG19 and a second model — so the golden bytes cover
+// the protection path and multi-model rendering, not just the formatter.
+// (Accuracies here are bit-exact by the scheduler's determinism guarantee;
+// cf. TestGoldenAccuracyFixture.)
+func TestFormatSweepGoldenCampaigns(t *testing.T) {
+	bers := []float64{1e-10, 1e-9, 1e-8}
+	cases := []struct {
+		name       string
+		cfg        Config
+		protection map[string][2]float64
+		want       string
+	}{
+		{
+			name: "vgg19-winograd-protected",
+			cfg:  Config{Model: "vgg19", Engine: Winograd, InputSize: 16, Samples: 8, Rounds: 2, Seed: 3},
+			protection: map[string][2]float64{
+				"conv1_1": {1, 0.5},
+				"conv1_2": {0.75, 0.25},
+			},
+			want: "BER          accuracy%\n1e-10        100.00\n1e-09        87.50\n1e-08        62.50\n",
+		},
+		{
+			name: "googlenet-direct",
+			cfg:  Config{Model: "googlenet", Engine: Direct, InputSize: 16, Samples: 8, Rounds: 2, Seed: 3},
+			want: "BER          accuracy%\n1e-10        81.25\n1e-09        62.50\n1e-08        62.50\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.protection != nil {
+				if err := sys.SetProtection(tc.protection); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var b strings.Builder
+			FormatSweep(&b, sys.Sweep(bers))
+			if b.String() != tc.want {
+				t.Errorf("rendered table drifted:\n got %q\nwant %q", b.String(), tc.want)
+			}
+		})
+	}
+}
+
 func TestPrecisionAndTileSelection(t *testing.T) {
 	cfg := testConfig(Winograd)
 	cfg.Precision = Int8
