@@ -54,6 +54,11 @@ type CampaignRequest struct {
 	// Protection optionally applies a fine-grained TMR plan before the
 	// campaign: conv layer name -> protected [mul, add] fractions in [0,1].
 	Protection map[string][2]float64 `json:"protection,omitempty"`
+	// Scenario optionally locates the campaign's faults on the accelerator
+	// PE array (stuck PE, SEU burst, voltage-stressed region). Requires
+	// result semantics and strictly positive BERs. Absent scenarios leave
+	// the cache key byte-identical to the pre-scenario schema.
+	Scenario *Scenario `json:"scenario,omitempty"`
 	// Workers caps the campaign's scheduler parallelism on the server
 	// (bounded by the server's own per-job budget; 0 = server default).
 	Workers int `json:"workers,omitempty"`
@@ -72,6 +77,7 @@ func (r CampaignRequest) SystemConfig() (Config, error) {
 		Seed:      r.Seed,
 		TileF4:    r.TileF4,
 		Workers:   r.Workers,
+		Scenario:  r.Scenario,
 	}
 	switch r.Engine {
 	case "", "direct":

@@ -6,6 +6,8 @@
 //
 //	wfsim -model vgg19 -engine winograd -prec int16 -bers 1e-10,1e-9,1e-8
 //	wfsim -model resnet50 -engine direct -semantics result -layers
+//	wfsim -model vgg19 -engine winograd -scenario stuckpe -pe 0,0 -stuck-bit 24
+//	wfsim -model vgg19 -scenario voltregion -region 0,0,3,3 -vregion 0.75
 package main
 
 import (
@@ -31,6 +33,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root seed")
 	workers := flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS; results are identical for any value)")
 	layers := flag.Bool("layers", false, "also print per-layer sensitivity at the middle BER")
+	scenario := flag.String("scenario", "", "hardware-located faults: stuckpe|burst|voltregion (default: statistical model)")
+	pe := flag.String("pe", "0,0", "stuckpe: \"row,col\" of the stuck PE (-1 = sampled from the seed)")
+	stuckBit := flag.Int("stuck-bit", -1, "stuckpe: corrupted product-register bit (-1 = sampled from the seed)")
+	burstSpan := flag.Int("burst-span", 0, "burst: MAC slots corrupted per burst (0 = default 64)")
+	region := flag.String("region", "0,0,3,3", "voltregion: inclusive \"row0,col0,row1,col1\" PE rectangle")
+	vregion := flag.Float64("vregion", 0.75, "voltregion: supply voltage of the stressed region")
 	flag.Parse()
 
 	cfg := winofault.Config{
@@ -67,6 +75,21 @@ func main() {
 		fatal("unknown semantics %q", *semantics)
 	}
 
+	switch *scenario {
+	case "":
+	case "stuckpe":
+		p := parseInts(*pe, 2, "pe")
+		cfg.Scenario = &winofault.Scenario{Kind: "stuckpe", Row: p[0], Col: p[1], Bit: *stuckBit}
+	case "burst":
+		cfg.Scenario = &winofault.Scenario{Kind: "burst", Span: *burstSpan}
+	case "voltregion":
+		r := parseInts(*region, 4, "region")
+		cfg.Scenario = &winofault.Scenario{Kind: "voltregion",
+			Row0: r[0], Col0: r[1], Row1: r[2], Col1: r[3], V: *vregion}
+	default:
+		fatal("unknown scenario %q (want stuckpe, burst or voltregion)", *scenario)
+	}
+
 	var rates []float64
 	for _, s := range strings.Split(*bers, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -81,7 +104,11 @@ func main() {
 		fatal("%v", err)
 	}
 	sm, sa, fm, fa := sys.OpCounts()
-	fmt.Printf("%s / %s / %s / %s semantics\n", *model, *engine, *prec, *semantics)
+	if *scenario != "" {
+		fmt.Printf("%s / %s / %s / %s scenario\n", *model, *engine, *prec, *scenario)
+	} else {
+		fmt.Printf("%s / %s / %s / %s semantics\n", *model, *engine, *prec, *semantics)
+	}
 	fmt.Printf("ops per image: scaled %.3gM mul + %.3gM add; full-size %.3gG mul + %.3gG add\n",
 		float64(sm)/1e6, float64(sa)/1e6, float64(fm)/1e9, float64(fa)/1e9)
 	// The table renderer is shared with the wfserve text endpoint so CI can
@@ -98,6 +125,23 @@ func main() {
 				l.Layer, l.FaultFreeAccuracy*100, l.Vulnerability*100, l.Muls)
 		}
 	}
+}
+
+// parseInts parses a comma-separated list of exactly n integers.
+func parseInts(s string, n int, flagName string) []int {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		fatal("-%s %q: want %d comma-separated integers", flagName, s, n)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal("-%s %q: %v", flagName, s, err)
+		}
+		out[i] = v
+	}
+	return out
 }
 
 func fatal(format string, args ...any) {

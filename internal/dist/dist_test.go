@@ -153,6 +153,38 @@ func TestDistributedRunBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDistributedScenarioBitIdentical: the hardware-located acceptance
+// invariant — a stuck-at-PE campaign sharded across a two-worker fleet
+// produces bytes identical to the local execution path. The workers rebuild
+// the scenario injection from the re-canonicalized spec alone (sampled
+// stuck coordinates resolve from the keyed seed), so no scenario state
+// crosses the wire beyond the request itself.
+func TestDistributedScenarioBitIdentical(t *testing.T) {
+	req := tinyReq()
+	req.Rounds = 2
+	req.Layers = false
+	req.Scenario = &winofault.Scenario{Kind: "stuckpe", Row: 0, Col: 0, Bit: 24}
+	want := localBytes(t, req)
+
+	c, _ := fleet(t, CoordinatorConfig{LeaseTTL: 2 * time.Second, Poll: 10 * time.Millisecond, ShardUnits: 1}, 2)
+	key, err := service.Key(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(context.Background(), key, req, func(batch, done, total int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed scenario bytes differ from local:\n%s\n%s", got, want)
+	}
+	for _, w := range c.Workers() {
+		if w.Shards == 0 {
+			t.Errorf("worker %s executed no shards of the scenario campaign", w.ID)
+		}
+	}
+}
+
 // TestServiceDistributedCacheBytes: the full service path with a
 // Distributor — submit, distribute, cache — serves bytes identical to a
 // service with no fleet at all.

@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/hwfault"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/systolic"
 	"repro/internal/winograd"
 )
 
@@ -65,5 +70,72 @@ func AblationTile(cfg Config) []*Figure {
 	fig.Notes = append(fig.Notes,
 		note("full-size muls: direct %.2fG, F2 %.2fG, F4 %.2fG",
 			float64(cd.Mul)/1e9, float64(c2.Mul)/1e9, float64(c4.Mul)/1e9))
+	return []*Figure{fig}
+}
+
+// AblationHWFault compares hardware-located degradation against the
+// statistical i.i.d. model at equal expected fault counts (VGG19 int16):
+// voltage-stressed PE regions of growing edge length inject spatially
+// correlated MAC faults, while the matched statistical arm draws the same
+// expected number of multiplication result flips uniformly over the op
+// census. Locality matters: the same fault mass concentrated on an array
+// region hits the same output channels over and over, so the two curves
+// separate — the effect the purely statistical platform cannot express.
+func AblationHWFault(cfg Config) []*Figure {
+	fig := &Figure{
+		ID:     "ablation-hwfault",
+		Title:  "Hardware-located vs statistical faults at equal expected counts (VGG19 int16, region at 0.75V)",
+		XLabel: "region edge PEs",
+		YLabel: "accuracy %",
+	}
+	ctx := context.Background()
+	array := systolic.DNNEngine16
+	surface := float64(fixed.Int16.ProductBits())
+	edges := []float64{1, 2, 4, 8}
+	const vRegion = 0.75
+	// The background (outside-region) BER: small enough to contribute ~no
+	// events, positive so the unit space schedules the campaigns.
+	const backBER = 1e-15
+
+	var expected []string
+	for _, kind := range []nn.EngineKind{nn.Direct, nn.Winograd} {
+		r := makeRig(cfg, "vgg19", kind, int16Fmt)
+		sched := hwfault.NetworkSchedules(array, r.arch, kind, cfg.tile(), cfg.Samples)
+		hwSeries := Series{Name: kind.String() + "-hw", X: edges}
+		stSeries := Series{Name: kind.String() + "-stat", X: edges}
+		for _, e := range edges {
+			sc := hwfault.Scenario{
+				Kind:   hwfault.VoltRegion,
+				Region: hwfault.Region{Row1: int(e) - 1, Col1: int(e) - 1},
+				V:      vRegion,
+			}
+			inj, err := hwfault.NewInjection(sc, array, int16Fmt, sched, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			// Both arms run over the scaled model's own op census (no
+			// full-size intensity substitution) so the matched BER and the
+			// schedule describe the same op population.
+			hwOpts := r.opts(cfg)
+			hwOpts.Intensity, hwOpts.NeuronIntensity = nil, nil
+			hwOpts.HW = inj
+			hwSeries.Y = append(hwSeries.Y, 100*r.runner.Accuracy(ctx, backBER, hwOpts, cfg.Rounds))
+
+			events := inj.EventsPerRound(backBER)
+			matched := events / (float64(inj.TotalMuls()) * surface)
+			stOpts := r.opts(cfg)
+			stOpts.Intensity, stOpts.NeuronIntensity = nil, nil
+			stOpts.AddFaultFree = true // hardware events are MAC mul flips
+			stSeries.Y = append(stSeries.Y, 100*r.runner.Accuracy(ctx, matched, stOpts, cfg.Rounds))
+
+			if kind == nn.Winograd {
+				expected = append(expected, note("edge %d: %.1f expected faults/round", int(e), events))
+			}
+		}
+		fig.Series = append(fig.Series, hwSeries, stSeries)
+	}
+	fig.Notes = append(fig.Notes, expected...)
+	fig.Notes = append(fig.Notes,
+		"each -stat column draws the -hw column's expected event count i.i.d. over the census (mul result flips only)")
 	return []*Figure{fig}
 }

@@ -204,6 +204,7 @@ func Registry() map[string]Runner {
 		"headline":  Headline,
 		"semantics": AblationSemantics,
 		"tile":      AblationTile,
+		"hwfault":   AblationHWFault,
 	}
 }
 

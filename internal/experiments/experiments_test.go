@@ -10,7 +10,7 @@ import (
 // the paper's qualitative shape where that is cheap to assert.
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline", "semantics", "tile"}
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline", "semantics", "tile", "hwfault"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -222,6 +222,28 @@ func TestAblations(t *testing.T) {
 	}
 	if len(tile.Notes) == 0 || !strings.Contains(tile.Notes[0], "direct") {
 		t.Error("tile ablation missing census note")
+	}
+}
+
+// TestAblationHWFault: two arms per engine, on a shared region-edge axis,
+// with the expected-event parity recorded in the notes.
+func TestAblationHWFault(t *testing.T) {
+	hw := AblationHWFault(Smoke())[0]
+	if len(hw.Series) != 4 {
+		t.Fatalf("hwfault series %d, want 4 (hw+stat per engine)", len(hw.Series))
+	}
+	for _, s := range hw.Series {
+		if len(s.Y) != len(hw.Series[0].X) {
+			t.Errorf("series %s has %d points for %d region sizes", s.Name, len(s.Y), len(hw.Series[0].X))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 100 {
+				t.Errorf("series %s accuracy %v outside [0,100]", s.Name, y)
+			}
+		}
+	}
+	if len(hw.Notes) == 0 || !strings.Contains(strings.Join(hw.Notes, " "), "expected") {
+		t.Error("hwfault ablation missing expected-event parity notes")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/conv"
 	"repro/internal/fault"
 	"repro/internal/fixed"
+	"repro/internal/hwfault"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -45,6 +46,24 @@ type Options struct {
 	AddFaultFree bool
 	// Protection is the per-node fine-grained TMR configuration (Fig. 5).
 	Protection map[int]fault.Protection
+	// HW, when set, replaces the statistical operation-level sampler for
+	// conv/FC nodes with hardware-located event generation mapped onto the
+	// systolic array schedule (see internal/hwfault): stuck PEs, SEU bursts
+	// and voltage-stressed regions. FaultFree masks, MulFaultFree and
+	// per-node mul protection still apply; all generated events are
+	// mul result-register flips, so campaigns using HW run ResultFlip
+	// semantics. Nodes without an array schedule stay fault-free, and so do
+	// all additions — the PE array executes MACs while the vector unit and
+	// accumulator datapath are modeled fault-free, so the statistical
+	// background of a voltage-region scenario covers multiplications only.
+	// Events remain a pure function of (Seed, round, node), so every
+	// determinism and sharding guarantee of the statistical path carries
+	// over.
+	//
+	// Note the unit-space contract is unchanged: campaigns with BER <= 0
+	// are still skipped as exactly fault-free, so hardware scenarios must
+	// run at a positive (background) BER to take effect.
+	HW *hwfault.Injection
 	// Workers caps the campaign scheduler's parallelism. 0 (the default)
 	// means GOMAXPROCS; 1 forces serial execution. Results are bit-identical
 	// for every worker count: each (campaign, round) work unit derives its
@@ -93,6 +112,15 @@ func (in *injector) OpEvents(li int, census fault.Census) []fault.Event {
 	}
 	if in.opts.FaultFree[li] {
 		return nil
+	}
+	if in.opts.HW != nil {
+		prot := in.opts.Protection[li]
+		if in.opts.MulFaultFree {
+			prot.MulFrac = 1
+		}
+		evs := in.opts.HW.Events(li, in.round, in.model.BER, 1-prot.Frac(fault.OpMul))
+		conv.MarkResultFlip(evs)
+		return evs
 	}
 	intensity := census
 	if in.opts.Intensity != nil {

@@ -1,0 +1,291 @@
+// Package hwfault maps fault-injection campaigns onto the physical layout of
+// the systolic accelerator (paper Section 4.2): instead of drawing i.i.d. bit
+// flips uniformly over a layer's op census, faults are located on the PE
+// array — a permanently stuck processing element, a burst of SEUs clustered
+// in one (PE, cycle window), or a voltage-stressed array region with locally
+// elevated BER.
+//
+// The bridge between the two worlds is the schedule mapping in this file: a
+// deterministic bijection between each layer's flat multiplication index
+// space (the contract between engine census and fault replay, see
+// internal/conv and internal/winograd) and the (PE, cycle) slots of the
+// weight-stationary schedule that systolic.Array.GEMM costs. Scenarios pick
+// slots on the array and compile them down to ordinary fault.Event values,
+// so engine replay, bit-exactness, worker-count invariance and distributed
+// sharding all come for free.
+//
+// Only multiplications are mapped: they are the MACs executed by the PE
+// array. Winograd transform additions and the accumulator chains run on the
+// vector unit / output datapath in the cost model, which hardware scenarios
+// model as fault-free — a scenario *replaces* the statistical sampler for
+// its node, so under an active scenario no addition events are generated at
+// all (the matched-intensity experiment sets AddFaultFree on its
+// statistical arm for exactly this parity).
+package hwfault
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/systolic"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// PE identifies one processing element of the array.
+type PE struct {
+	Row int // reduction (weight-row) dimension
+	Col int // output-channel dimension
+}
+
+// Region is an inclusive rectangle of PEs.
+type Region struct {
+	Row0, Col0 int
+	Row1, Col1 int
+}
+
+// Contains reports whether the region covers pe.
+func (rg Region) Contains(pe PE) bool {
+	return pe.Row >= rg.Row0 && pe.Row <= rg.Row1 && pe.Col >= rg.Col0 && pe.Col <= rg.Col1
+}
+
+// Validate checks the region against an array geometry.
+func (rg Region) Validate(a systolic.Array) error {
+	if rg.Row0 < 0 || rg.Col0 < 0 || rg.Row0 > rg.Row1 || rg.Col0 > rg.Col1 ||
+		rg.Row1 >= a.Rows || rg.Col1 >= a.Cols {
+		return fmt.Errorf("hwfault: region (%d,%d)-(%d,%d) outside %dx%d array",
+			rg.Row0, rg.Col0, rg.Row1, rg.Col1, a.Rows, a.Cols)
+	}
+	return nil
+}
+
+// LayerSchedule is the weight-stationary schedule of one conv/FC node: a
+// bijection between the node's flat multiplication index space and (PE,
+// slot) pairs, where a PE's slots enumerate the MACs it executes in cycle
+// order. Direct convolutions and FC layers lower to one im2col GEMM; a
+// winograd node lowers to units·T² transform-domain GEMMs (one per DWM unit
+// and tile position), in census order.
+type LayerSchedule struct {
+	arr systolic.Array
+	d   *directSched
+	w   *wgSched
+}
+
+// directSched is the im2col GEMM of a direct conv / FC node:
+// M = batch·pixels input vectors stream through a (K x OC) weight matrix
+// tiled into ceil(K/Rows)·ceil(OC/Cols) folds. The engine's mul index is
+// flatOut·K + k with flatOut = ((img·OC+oc)·OH+oy)·OW+ox (see package conv).
+type directSched struct {
+	k   int   // reduction depth IC·KH·KW
+	oc  int   // output channels (GEMM N)
+	pix int   // output pixels per image, OH·OW
+	m   int64 // GEMM M = batch·pix
+}
+
+// wgSched is the transform-domain GEMM family of a winograd node: per DWM
+// unit and tile position one GEMM with M = nt tiles, K = inC, N = outC. The
+// engine's mul index is unit·ntTotal·outC·inC·T² + ((nt·outC+oc)·inC+c)·T² +
+// pos (see internal/winograd core.go).
+type wgSched struct {
+	units int   // DWM decomposition units
+	t2    int   // tile positions T²
+	inC   int   // GEMM K
+	outC  int   // GEMM N
+	nt    int64 // tiles per GEMM, batch included
+}
+
+// countMod returns how many x in [0, n) satisfy x mod m == r.
+func countMod(n, m, r int) int64 {
+	if r >= n {
+		return 0
+	}
+	return int64((n - r + m - 1) / m)
+}
+
+// newDirectSchedule builds the schedule of a direct conv (or, with kh = kw =
+// 1, an FC layer) whose input shape already includes the evaluation batch.
+func newDirectSchedule(a systolic.Array, in tensor.Shape, outC, kh, kw, stride, pad int) *LayerSchedule {
+	oh := (in.H+2*pad-kh)/stride + 1
+	ow := (in.W+2*pad-kw)/stride + 1
+	return &LayerSchedule{arr: a, d: &directSched{
+		k:   in.C * kh * kw,
+		oc:  outC,
+		pix: oh * ow,
+		m:   int64(in.N) * int64(oh) * int64(ow),
+	}}
+}
+
+// newWinogradSchedule builds the schedule of a winograd conv node whose
+// input shape already includes the evaluation batch.
+func newWinogradSchedule(a systolic.Array, in tensor.Shape, outC, kh, kw, stride, pad int, t *winograd.Tile) *LayerSchedule {
+	oh := (in.H+2*pad-kh)/stride + 1
+	ow := (in.W+2*pad-kw)/stride + 1
+	tilesY := (oh + t.M - 1) / t.M
+	tilesX := (ow + t.M - 1) / t.M
+	return &LayerSchedule{arr: a, w: &wgSched{
+		units: winograd.NumUnits(kh, kw, stride, t.R),
+		t2:    t.MulsPerTileChannel(),
+		inC:   in.C,
+		outC:  outC,
+		nt:    int64(in.N) * int64(tilesY) * int64(tilesX),
+	}}
+}
+
+// NetworkSchedules maps every conv/FC node of an architecture onto the
+// array for the given engine kind and evaluation batch size; non-array nodes
+// (pooling, activations, ...) get nil entries. The mul index space of entry
+// i matches the runtime op census of node i exactly — Muls() equals the
+// engine census Mul count — which is what lets scenario events replay
+// bit-exactly.
+func NetworkSchedules(a systolic.Array, arch *models.Arch, kind nn.EngineKind, tile *winograd.Tile, batch int) []*LayerSchedule {
+	if tile == nil {
+		tile = winograd.F2
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	shapes := models.Shapes(arch)
+	out := make([]*LayerSchedule, len(arch.Ops))
+	for i, d := range arch.Ops {
+		in := arch.In
+		if d.Inputs[0] != nn.InputNode {
+			in = shapes[d.Inputs[0]]
+		}
+		in.N *= batch
+		switch d.Kind {
+		case "conv":
+			if kind == nn.Winograd && d.K >= 2 {
+				out[i] = newWinogradSchedule(a, in, d.OutC, d.K, d.K, d.Stride, d.Pad, tile)
+			} else {
+				out[i] = newDirectSchedule(a, in, d.OutC, d.K, d.K, d.Stride, d.Pad)
+			}
+		case "fc":
+			out[i] = newDirectSchedule(a, in, d.OutC, 1, 1, 1, 0)
+		}
+	}
+	return out
+}
+
+// Array returns the PE array geometry the schedule maps onto.
+func (s *LayerSchedule) Array() systolic.Array { return s.arr }
+
+// Muls returns the node's total multiplication count (== the engine census).
+func (s *LayerSchedule) Muls() int64 {
+	if s.d != nil {
+		return s.d.m * int64(s.d.k) * int64(s.d.oc)
+	}
+	w := s.w
+	return int64(w.units) * w.nt * int64(w.outC) * int64(w.inC) * int64(w.t2)
+}
+
+// OpsOnPE returns how many multiplications the schedule places on pe.
+func (s *LayerSchedule) OpsOnPE(pe PE) int64 {
+	if pe.Row < 0 || pe.Row >= s.arr.Rows || pe.Col < 0 || pe.Col >= s.arr.Cols {
+		return 0
+	}
+	if s.d != nil {
+		return countMod(s.d.k, s.arr.Rows, pe.Row) * countMod(s.d.oc, s.arr.Cols, pe.Col) * s.d.m
+	}
+	w := s.w
+	return int64(w.units) * int64(w.t2) *
+		countMod(w.inC, s.arr.Rows, pe.Row) * countMod(w.outC, s.arr.Cols, pe.Col) * w.nt
+}
+
+// MulOnPE returns the engine mul index of pe's slot-th multiplication, slots
+// enumerating the PE's MACs in schedule (cycle) order: GEMMs in census
+// order, folds within a GEMM in (reduction, output-channel) order, and the
+// M input vectors streaming through each fold. It is the inverse of
+// (PEOf, SlotOf) and panics outside [0, OpsOnPE(pe)).
+func (s *LayerSchedule) MulOnPE(pe PE, slot int64) int64 {
+	if slot < 0 || slot >= s.OpsOnPE(pe) {
+		panic(fmt.Sprintf("hwfault: slot %d outside PE (%d,%d) with %d ops", slot, pe.Row, pe.Col, s.OpsOnPE(pe)))
+	}
+	if s.d != nil {
+		d := s.d
+		occ := countMod(d.oc, s.arr.Cols, pe.Col)
+		perFold := occ * d.m
+		fk := slot / perFold
+		rem := slot % perFold
+		fn := rem / d.m
+		mm := rem % d.m
+		k := int64(pe.Row) + fk*int64(s.arr.Rows)
+		oc := int64(pe.Col) + fn*int64(s.arr.Cols)
+		img := mm / int64(d.pix)
+		p := mm % int64(d.pix)
+		flat := (img*int64(d.oc)+oc)*int64(d.pix) + p
+		return flat*int64(d.k) + k
+	}
+	w := s.w
+	cc := countMod(w.inC, s.arr.Rows, pe.Row)
+	oc2 := countMod(w.outC, s.arr.Cols, pe.Col)
+	perGEMM := cc * oc2 * w.nt
+	perUnit := int64(w.t2) * perGEMM
+	u := slot / perUnit
+	r1 := slot % perUnit
+	pos := r1 / perGEMM
+	r2 := r1 % perGEMM
+	fk := r2 / (oc2 * w.nt)
+	r3 := r2 % (oc2 * w.nt)
+	fn := r3 / w.nt
+	nt := r3 % w.nt
+	c := int64(pe.Row) + fk*int64(s.arr.Rows)
+	oc := int64(pe.Col) + fn*int64(s.arr.Cols)
+	mulsPerUnit := w.nt * int64(w.outC) * int64(w.inC) * int64(w.t2)
+	return u*mulsPerUnit + ((nt*int64(w.outC)+oc)*int64(w.inC)+c)*int64(w.t2) + pos
+}
+
+// PEOf returns the PE that executes the given engine mul index.
+func (s *LayerSchedule) PEOf(op int64) PE {
+	if op < 0 || op >= s.Muls() {
+		panic(fmt.Sprintf("hwfault: mul index %d outside census %d", op, s.Muls()))
+	}
+	if s.d != nil {
+		d := s.d
+		k := int(op % int64(d.k))
+		oc := int((op / int64(d.k) / int64(d.pix)) % int64(d.oc))
+		return PE{Row: k % s.arr.Rows, Col: oc % s.arr.Cols}
+	}
+	w := s.w
+	mulsPerUnit := w.nt * int64(w.outC) * int64(w.inC) * int64(w.t2)
+	r := op % mulsPerUnit
+	t := r / int64(w.t2)
+	c := int(t % int64(w.inC))
+	oc := int((t / int64(w.inC)) % int64(w.outC))
+	return PE{Row: c % s.arr.Rows, Col: oc % s.arr.Cols}
+}
+
+// SlotOf returns the schedule-order slot of the given mul index on its own
+// PE, the inverse of MulOnPE.
+func (s *LayerSchedule) SlotOf(op int64) int64 {
+	pe := s.PEOf(op) // validates op
+	if s.d != nil {
+		d := s.d
+		k := op % int64(d.k)
+		flat := op / int64(d.k)
+		p := flat % int64(d.pix)
+		tmp := flat / int64(d.pix)
+		oc := tmp % int64(d.oc)
+		img := tmp / int64(d.oc)
+		mm := img*int64(d.pix) + p
+		occ := countMod(d.oc, s.arr.Cols, pe.Col)
+		fk := k / int64(s.arr.Rows)
+		fn := oc / int64(s.arr.Cols)
+		return (fk*occ+fn)*d.m + mm
+	}
+	w := s.w
+	mulsPerUnit := w.nt * int64(w.outC) * int64(w.inC) * int64(w.t2)
+	u := op / mulsPerUnit
+	r := op % mulsPerUnit
+	pos := r % int64(w.t2)
+	t := r / int64(w.t2)
+	c := t % int64(w.inC)
+	rest := t / int64(w.inC)
+	oc := rest % int64(w.outC)
+	nt := rest / int64(w.outC)
+	cc := countMod(w.inC, s.arr.Rows, pe.Row)
+	oc2 := countMod(w.outC, s.arr.Cols, pe.Col)
+	fk := c / int64(s.arr.Rows)
+	fn := oc / int64(s.arr.Cols)
+	return u*int64(w.t2)*cc*oc2*w.nt + pos*cc*oc2*w.nt + fk*oc2*w.nt + fn*w.nt + nt
+}

@@ -27,6 +27,7 @@ type Cache struct {
 	max     int
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
+	bytes   int64  // resident bytes of the in-memory tier (sum of data lens)
 	dir     string // "" = memory only
 }
 
@@ -124,15 +125,20 @@ func (c *Cache) insert(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).data = data
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
 		c.ll.MoveToFront(el)
 		return
 	}
 	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += int64(len(data))
 	for c.ll.Len() > c.max {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+		e := last.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.data))
+		delete(c.entries, e.key)
 	}
 }
 
@@ -141,4 +147,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes reports the resident result bytes of the in-memory tier — the
+// LRU-pressure gauge next to Len on /metrics (the persistent tier is
+// unbounded by design and not counted here).
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -101,3 +101,54 @@ func TestCacheNoTempDroppings(t *testing.T) {
 		t.Errorf("dir has %d entries, want 10: %v", len(ents), names)
 	}
 }
+
+// TestCacheBytesGauge: the resident-bytes gauge tracks inserts, in-place
+// overwrites and LRU evictions exactly, so /metrics reports true memory
+// pressure.
+func TestCacheBytesGauge(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(entries int, bytes int64) {
+		t.Helper()
+		if c.Len() != entries || c.Bytes() != bytes {
+			t.Fatalf("cache at %d entries / %d bytes, want %d / %d", c.Len(), c.Bytes(), entries, bytes)
+		}
+	}
+	check(0, 0)
+	c.Put("a", make([]byte, 10))
+	check(1, 10)
+	c.Put("b", make([]byte, 5))
+	check(2, 15)
+	c.Put("a", make([]byte, 3)) // overwrite shrinks
+	check(2, 8)
+	c.Put("c", make([]byte, 7)) // evicts LRU ("b")
+	check(2, 10)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("evicted entry still present")
+	}
+	check(2, 10)
+}
+
+// TestCacheBytesDiskPromotion: entries promoted back from the persistence
+// directory count toward the resident gauge again.
+func TestCacheBytesDiskPromotion(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", make([]byte, 10))
+	c.Put("b", make([]byte, 6)) // evicts "a" from memory, disk copy stays
+	if c.Bytes() != 6 {
+		t.Fatalf("resident %d bytes, want 6", c.Bytes())
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("persisted entry lost")
+	}
+	// "a" promoted back in, evicting "b": gauge follows.
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("after promotion: %d entries / %d bytes, want 1 / 10", c.Len(), c.Bytes())
+	}
+}

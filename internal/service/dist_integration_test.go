@@ -248,6 +248,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"wfserve_queue_depth 0",
 		"wfserve_jobs_inflight 0",
 		"wfserve_cache_hits_total 1",
+		// One completed campaign resident: the stub's 13 result bytes.
+		"wfserve_cache_entries 1",
+		"wfserve_cache_resident_bytes 13",
 		"wfserve_draining 0",
 		"wfserve_workers_live 1",
 		`wfserve_worker_shards_total{worker="alpha",id="w-1"} 3`,

@@ -66,6 +66,12 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP wfserve_cache_misses_total Content-addressed cache probes that found nothing.")
 	fmt.Fprintln(w, "# TYPE wfserve_cache_misses_total counter")
 	fmt.Fprintf(w, "wfserve_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintln(w, "# HELP wfserve_cache_entries In-memory cache tier entry count (LRU occupancy).")
+	fmt.Fprintln(w, "# TYPE wfserve_cache_entries gauge")
+	fmt.Fprintf(w, "wfserve_cache_entries %d\n", st.CacheEntries)
+	fmt.Fprintln(w, "# HELP wfserve_cache_resident_bytes Result bytes resident in the in-memory cache tier.")
+	fmt.Fprintln(w, "# TYPE wfserve_cache_resident_bytes gauge")
+	fmt.Fprintf(w, "wfserve_cache_resident_bytes %d\n", st.CacheBytes)
 	fmt.Fprintln(w, "# HELP wfserve_draining Whether shutdown has begun (healthz reports 503).")
 	fmt.Fprintln(w, "# TYPE wfserve_draining gauge")
 	fmt.Fprintf(w, "wfserve_draining %d\n", boolGauge(s.Draining()))

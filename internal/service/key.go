@@ -39,7 +39,8 @@ func canonicalFloat(v float64) string {
 // scheduling-only Workers field dropped. Two requests describe the same
 // campaign if and only if their canonical strings are equal.
 func Canonical(req winofault.CampaignRequest) (string, error) {
-	if _, err := req.SystemConfig(); err != nil {
+	cfg, err := req.SystemConfig()
+	if err != nil {
 		return "", err
 	}
 	if len(req.BERs) == 0 {
@@ -49,6 +50,25 @@ func Canonical(req winofault.CampaignRequest) (string, error) {
 		if math.IsNaN(ber) || math.IsInf(ber, 0) {
 			return "", fmt.Errorf("service: BER %v is not finite", ber)
 		}
+	}
+	// Hardware-located scenarios: validate and canonicalize up front. The
+	// scenario lines are appended at the very end of the canonical string,
+	// so requests without one keep byte-identical wfcampaign/v1 keys.
+	var scenario *winofault.Scenario
+	if req.Scenario != nil {
+		if req.Semantics != "" && req.Semantics != "result" {
+			return "", fmt.Errorf("service: scenario %q requires result semantics, got %q", req.Scenario.Kind, req.Semantics)
+		}
+		for _, ber := range req.BERs {
+			if ber <= 0 {
+				return "", fmt.Errorf("service: scenario campaigns need positive BERs, got %v", ber)
+			}
+		}
+		ns, err := req.Scenario.Normalized(cfg.Precision)
+		if err != nil {
+			return "", err
+		}
+		scenario = &ns
 	}
 	// Mirror Config.normalize: a request spelling a default explicitly is
 	// the same campaign as one omitting it.
@@ -139,6 +159,20 @@ func Canonical(req winofault.CampaignRequest) (string, error) {
 		prot[i] = fmt.Sprintf("%s:%s,%s", name, canonicalFloat(fr[0]), canonicalFloat(fr[1]))
 	}
 	fmt.Fprintf(&b, "protection=%s\n", strings.Join(prot, "|"))
+	if scenario != nil {
+		fmt.Fprintf(&b, "scenario=%s\n", scenario.Kind)
+		switch scenario.Kind {
+		case "stuckpe":
+			fmt.Fprintf(&b, "scenario.pe=%d,%d\n", scenario.Row, scenario.Col)
+			fmt.Fprintf(&b, "scenario.bit=%d\n", scenario.Bit)
+		case "burst":
+			fmt.Fprintf(&b, "scenario.span=%d\n", scenario.Span)
+		case "voltregion":
+			fmt.Fprintf(&b, "scenario.region=%d,%d,%d,%d\n",
+				scenario.Row0, scenario.Col0, scenario.Row1, scenario.Col1)
+			fmt.Fprintf(&b, "scenario.v=%s\n", canonicalFloat(scenario.V))
+		}
+	}
 	return b.String(), nil
 }
 

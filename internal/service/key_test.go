@@ -178,6 +178,110 @@ func TestKeyRejectsInvalidRequests(t *testing.T) {
 	}
 }
 
+// TestKeyUnchangedWithoutScenario pins the wfcampaign/v1 content addresses
+// of scenario-less requests to their exact pre-scenario (PR 4) values: the
+// scenario lines are appended only when the field is present, so every
+// previously persisted cache entry keeps answering its request.
+func TestKeyUnchangedWithoutScenario(t *testing.T) {
+	pinned := []struct {
+		name string
+		req  winofault.CampaignRequest
+		key  string
+	}{
+		{"defaults", winofault.CampaignRequest{BERs: []float64{1e-9}},
+			"dc864e4c985bfd6d4116e42dc50f1200b09ea3c76c21861a2b1765f2b0983a9e"},
+		{"full", winofault.CampaignRequest{Model: "resnet50", Engine: "winograd", Precision: "int8",
+			Semantics: "operand", WidthMult: 0.25, InputSize: 24, Samples: 12, Rounds: 3, Seed: 9,
+			TileF4: true, BERs: []float64{1e-10, 3e-9}, Layers: true,
+			Protection: map[string][2]float64{"conv1": {0.5, 0.25}}},
+			"8747f1568f30fb20e26d76ba51dfc644e26018c02481cd5177265c4ee834a61f"},
+	}
+	for _, p := range pinned {
+		if got := mustKey(t, p.req); got != p.key {
+			t.Errorf("%s: key drifted from the pinned PR 4 value:\ngot  %s\nwant %s", p.name, got, p.key)
+		}
+	}
+}
+
+// TestKeyScenario: scenarios are part of campaign identity — the kind and
+// every kind-relevant parameter shard the cache, while default spellings
+// and kind-irrelevant fields do not.
+func TestKeyScenario(t *testing.T) {
+	base := func(sc *winofault.Scenario) winofault.CampaignRequest {
+		return winofault.CampaignRequest{BERs: []float64{1e-9}, Scenario: sc}
+	}
+	plain := mustKey(t, base(nil))
+	stuck := mustKey(t, base(&winofault.Scenario{Kind: "stuckpe", Row: 1, Col: 2, Bit: 20}))
+	if stuck == plain {
+		t.Error("stuckpe scenario did not change the key")
+	}
+	variants := map[string]*winofault.Scenario{
+		"kind":   {Kind: "burst"},
+		"pe":     {Kind: "stuckpe", Row: 3, Col: 2, Bit: 20},
+		"bit":    {Kind: "stuckpe", Row: 1, Col: 2, Bit: 21},
+		"span":   {Kind: "burst", Span: 128},
+		"region": {Kind: "voltregion", Row1: 3, Col1: 3, V: 0.75},
+		"volt":   {Kind: "voltregion", Row1: 3, Col1: 3, V: 0.76},
+	}
+	seen := map[string]string{"": stuck}
+	for name, sc := range variants {
+		k := mustKey(t, base(sc))
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("scenario variant %q collides with %q", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+	// Defaults applied: an explicit default span is the same campaign.
+	if a, b := mustKey(t, base(&winofault.Scenario{Kind: "burst"})),
+		mustKey(t, base(&winofault.Scenario{Kind: "burst", Span: 64})); a != b {
+		t.Error("explicit default burst span changed the key")
+	}
+	// Kind-irrelevant fields are dropped by normalization.
+	if a, b := mustKey(t, base(&winofault.Scenario{Kind: "burst"})),
+		mustKey(t, base(&winofault.Scenario{Kind: "burst", Row: 5, V: 0.8})); a != b {
+		t.Error("kind-irrelevant scenario fields changed the key")
+	}
+	// Sampled coordinates are identity too (resolved from the keyed seed).
+	if a, b := mustKey(t, base(&winofault.Scenario{Kind: "stuckpe", Row: -1, Col: -1, Bit: -1})),
+		mustKey(t, base(&winofault.Scenario{Kind: "stuckpe"})); a == b {
+		t.Error("sampled and pinned stuck coordinates share a key")
+	}
+	// ... but every negative spelling means the same "sampled" campaign, so
+	// they must all canonicalize to -1 and share one key.
+	if a, b := mustKey(t, base(&winofault.Scenario{Kind: "stuckpe", Row: -1, Col: -1, Bit: -1})),
+		mustKey(t, base(&winofault.Scenario{Kind: "stuckpe", Row: -5, Col: -2, Bit: -9})); a != b {
+		t.Error("negative sampled-coordinate spellings sharded the cache")
+	}
+}
+
+// TestKeyRejectsInvalidScenarios pins the scenario validation surface.
+func TestKeyRejectsInvalidScenarios(t *testing.T) {
+	bers := []float64{1e-9}
+	bad := map[string]winofault.CampaignRequest{
+		"unknown kind":  {BERs: bers, Scenario: &winofault.Scenario{Kind: "meteor"}},
+		"pe outside":    {BERs: bers, Scenario: &winofault.Scenario{Kind: "stuckpe", Row: 16}},
+		"bit outside":   {BERs: bers, Scenario: &winofault.Scenario{Kind: "stuckpe", Bit: 32}},
+		"bit vs int8":   {BERs: bers, Precision: "int8", Scenario: &winofault.Scenario{Kind: "stuckpe", Bit: 20}},
+		"negative span": {BERs: bers, Scenario: &winofault.Scenario{Kind: "burst", Span: -2}},
+		"bad region":    {BERs: bers, Scenario: &winofault.Scenario{Kind: "voltregion", Row0: 3, Row1: 1, V: 0.8}},
+		"zero volt":     {BERs: bers, Scenario: &winofault.Scenario{Kind: "voltregion", Row1: 1, Col1: 1}},
+		"semantics":     {BERs: bers, Semantics: "operand", Scenario: &winofault.Scenario{Kind: "burst"}},
+		"zero ber":      {BERs: []float64{0, 1e-9}, Scenario: &winofault.Scenario{Kind: "burst"}},
+	}
+	for name, req := range bad {
+		if _, err := Key(req); err == nil {
+			t.Errorf("%s: Key accepted an invalid scenario request", name)
+		}
+	}
+	// int16 keeps the full 32-bit product register addressable.
+	ok := winofault.CampaignRequest{BERs: bers, Scenario: &winofault.Scenario{Kind: "stuckpe", Bit: 31}}
+	if _, err := Key(ok); err != nil {
+		t.Errorf("bit 31 on int16 rejected: %v", err)
+	}
+}
+
 // TestCanonicalIsVersioned: the canonical serialization carries its schema
 // tag so persisted entries can never outlive a schema change silently.
 func TestCanonicalIsVersioned(t *testing.T) {

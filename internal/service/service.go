@@ -419,6 +419,11 @@ type Stats struct {
 	Inflight int64
 	// CacheHits / CacheMisses count content-addressed cache probes.
 	CacheHits, CacheMisses int64
+	// CacheEntries / CacheBytes gauge the in-memory cache tier (entry count
+	// and resident result bytes), so operators can see LRU pressure rather
+	// than only hit/miss flow.
+	CacheEntries int
+	CacheBytes   int64
 	// Workers is the distributed fleet (nil without a Distributor).
 	Workers []WorkerStat
 }
@@ -426,10 +431,12 @@ type Stats struct {
 // Stats snapshots the service counters for the /metrics endpoint.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		QueueDepth:  len(s.queue),
-		Inflight:    s.inflight.Load(),
-		CacheHits:   s.cache.Hits(),
-		CacheMisses: s.cache.Misses(),
+		QueueDepth:   len(s.queue),
+		Inflight:     s.inflight.Load(),
+		CacheHits:    s.cache.Hits(),
+		CacheMisses:  s.cache.Misses(),
+		CacheEntries: s.cache.Len(),
+		CacheBytes:   s.cache.Bytes(),
 	}
 	if s.cfg.Distributor != nil {
 		st.Workers = s.cfg.Distributor.Workers()

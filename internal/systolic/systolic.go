@@ -111,7 +111,7 @@ func (a Array) ConvWinograd(in tensor.Shape, outC, kh, kw, stride, pad int, t *w
 
 	// One unit: T² GEMMs of (tiles x inC x outC) + transforms.
 	t2 := int64(t.T() * t.T())
-	unitGeoms := numUnits(kh, kw, stride, t.R)
+	unitGeoms := winograd.NumUnits(kh, kw, stride, t.R)
 	var total Cost
 	for u := 0; u < unitGeoms; u++ {
 		var unitCost Cost
@@ -128,25 +128,6 @@ func (a Array) ConvWinograd(in tensor.Shape, outC, kh, kw, stride, pad int, t *w
 		total = total.Add(a.vector(sum))
 	}
 	return total
-}
-
-// numUnits mirrors the DWM decomposition unit count.
-func numUnits(kh, kw, stride, r int) int {
-	n := 0
-	for ry := 0; ry < stride; ry++ {
-		subKH := (kh - ry + stride - 1) / stride
-		if subKH <= 0 {
-			continue
-		}
-		for rx := 0; rx < stride; rx++ {
-			subKW := (kw - rx + stride - 1) / stride
-			if subKW <= 0 {
-				continue
-			}
-			n += ((subKH + r - 1) / r) * ((subKW + r - 1) / r)
-		}
-	}
-	return n
 }
 
 // NetworkCost sums the layer costs of an architecture under one engine kind
@@ -170,7 +151,6 @@ func (a Array) NetworkCost(arch *models.Arch, kind nn.EngineKind, tile *winograd
 		}
 		in.N *= batch
 		outElems := int64(shapes[i].Elems()) * int64(batch)
-		_ = outElems
 		switch d.Kind {
 		case "conv":
 			if kind == nn.Winograd && d.K >= 2 {

@@ -95,8 +95,8 @@ func TestNumUnitsMatchesDWM(t *testing.T) {
 		{3, 1, 1}, {5, 1, 4}, {7, 2, 9}, {3, 2, 4}, {1, 1, 1},
 	}
 	for _, c := range cases {
-		if got := numUnits(c.k, c.k, c.s, 3); got != c.want {
-			t.Errorf("numUnits(k=%d,s=%d) = %d, want %d", c.k, c.s, got, c.want)
+		if got := winograd.NumUnits(c.k, c.k, c.s, 3); got != c.want {
+			t.Errorf("NumUnits(k=%d,s=%d) = %d, want %d", c.k, c.s, got, c.want)
 		}
 	}
 }
@@ -106,5 +106,36 @@ func TestCostAdd(t *testing.T) {
 	b := a.Add(a)
 	if b != (Cost{2, 4, 6, 8}) {
 		t.Errorf("Add = %+v", b)
+	}
+}
+
+// TestGoldenDNNEngine16Costs pins the DNNEngine16 cost model for one direct
+// and one winograd convolution (a mid-network 3x3 and the DWM-decomposed
+// 7x7 stride-2 stem), so schedule-mapping refactors cannot silently shift
+// the cycle/MAC/SRAM numbers the energy study (Figs. 6-7) and the hwfault
+// schedule rest on. If a deliberate cost-model change lands, re-derive the
+// constants and say why in the commit.
+func TestGoldenDNNEngine16Costs(t *testing.T) {
+	a := DNNEngine16
+	mid := tensor.Shape{N: 1, C: 64, H: 56, W: 56}
+	stem := tensor.Shape{N: 1, C: 3, H: 224, W: 224}
+	cases := []struct {
+		name string
+		got  Cost
+		want Cost
+	}{
+		{"conv3x3-direct", a.ConvDirect(mid, 128, 3, 3, 1, 1),
+			Cost{Cycles: 911824, MACs: 231211008, SRAMReads: 14524416}},
+		{"conv3x3-winograd", a.ConvWinograd(mid, 128, 3, 3, 1, 1, winograd.F2),
+			Cost{Cycles: 667904, MACs: 102760448, VectorOps: 4014080, SRAMReads: 6553600}},
+		{"conv7x7s2-direct", a.ConvDirect(stem, 64, 7, 7, 2, 3),
+			Cost{Cycles: 502976, MACs: 118013952, SRAMReads: 7386112}},
+		{"conv7x7s2-winograd", a.ConvWinograd(stem, 64, 7, 7, 2, 3, winograd.F2),
+			Cost{Cycles: 5106176, MACs: 86704128, VectorOps: 52484096, SRAMReads: 5566464}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: cost %+v, want pinned %+v", c.name, c.got, c.want)
+		}
 	}
 }

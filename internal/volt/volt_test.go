@@ -209,3 +209,60 @@ func TestIsotonicProperties(t *testing.T) {
 		t.Errorf("mean not preserved: %v vs %v", sumIn, sumOut)
 	}
 }
+
+// TestBERProperties: the properties the voltage model promises — BER(v) is
+// monotonically non-increasing in v, exactly zero at and above VSafe, and
+// continuous at VSafe within one decade (no cliff between the first
+// sub-safe sample and BERAtSafe).
+func TestBERProperties(t *testing.T) {
+	accs := []Accelerator{DNNEngine, {
+		VNom: 1.0, VMin: 0.6, Freq: 1e9, PDynNom: 0.5, PLeakNom: 0.05,
+		VSafe: 0.85, BERAtSafe: 1e-10, DecadesPerVolt: 40,
+	}}
+	for _, a := range accs {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		const step = 1e-4
+		prev := math.Inf(1)
+		for v := a.VMin - 0.05; v <= a.VNom+0.05; v += step {
+			ber := a.BER(v)
+			if ber > prev {
+				t.Fatalf("BER not non-increasing: BER(%v) = %v > BER(%v) = %v", v, ber, v-step, prev)
+			}
+			if v >= a.VSafe && ber != 0 {
+				t.Fatalf("BER(%v) = %v above VSafe %v, want exactly 0", v, ber, a.VSafe)
+			}
+			if v < a.VSafe && ber <= 0 {
+				t.Fatalf("BER(%v) = %v below VSafe %v, want positive", v, ber, a.VSafe)
+			}
+			prev = ber
+		}
+		// Continuity at VSafe: approaching from below must land within one
+		// decade of BERAtSafe (the exponential's anchor), not jump past it.
+		just := a.BER(a.VSafe - 1e-6)
+		if just < a.BERAtSafe || just > 10*a.BERAtSafe {
+			t.Errorf("BER just below VSafe = %v, want within one decade of %v", just, a.BERAtSafe)
+		}
+	}
+}
+
+// TestValidateRejectsInvertedOrderings: every violation of
+// VMin < VSafe <= VNom must be rejected.
+func TestValidateRejectsInvertedOrderings(t *testing.T) {
+	base := DNNEngine
+	bad := map[string]func(*Accelerator){
+		"VMin == VSafe":  func(a *Accelerator) { a.VMin = a.VSafe },
+		"VMin > VSafe":   func(a *Accelerator) { a.VMin = a.VSafe + 0.01 },
+		"VSafe > VNom":   func(a *Accelerator) { a.VSafe = a.VNom + 0.01 },
+		"VMin > VNom":    func(a *Accelerator) { a.VMin = a.VNom + 0.1 },
+		"all descending": func(a *Accelerator) { a.VMin, a.VSafe, a.VNom = 0.9, 0.8, 0.7 },
+	}
+	for name, mutate := range bad {
+		a := base
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, a)
+		}
+	}
+}

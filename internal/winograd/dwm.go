@@ -70,6 +70,12 @@ func unitGeoms(kh, kw, stride, r int) []unitGeom {
 	return out
 }
 
+// NumUnits reports how many stride-1 RxR sub-convolutions the DWM
+// decomposition of a (kh x kw, stride) kernel produces, from geometry alone.
+// It is the unit count Layer.Units() observes after construction, shared
+// with the systolic cost model and the hwfault schedule mapping.
+func NumUnits(kh, kw, stride, r int) int { return len(unitGeoms(kh, kw, stride, r)) }
+
 // CensusFor computes a full winograd layer's op census (DWM units plus the
 // summation segment) from geometry alone, without materializing weights.
 func CensusFor(in tensor.Shape, outC, kh, kw, stride, pad int, bias bool, t *Tile) fault.Census {

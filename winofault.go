@@ -24,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/fixed"
+	"repro/internal/hwfault"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/systolic"
@@ -94,6 +95,97 @@ type Config struct {
 	// serial). Every result is bit-identical for any worker count; Workers
 	// only changes wall-clock time.
 	Workers int
+	// Scenario optionally locates the campaign's faults on the DNN-Engine
+	// PE array (stuck PE, SEU burst, voltage-stressed region) instead of
+	// drawing them i.i.d. over the op census. Requires ResultFlip semantics
+	// and strictly positive BERs; see the Scenario type.
+	Scenario *Scenario
+}
+
+// Scenario is a hardware-located fault configuration mapped onto the
+// DNN-Engine-class 16x16 PE array (see internal/hwfault). It is shared
+// between Config and the CampaignRequest wire form; the zero value of every
+// optional field means the platform default, so a request spelling a
+// default explicitly is the same campaign as one omitting it.
+//
+// Kinds:
+//
+//	"stuckpe"    — every MAC scheduled onto PE (Row, Col) has product bit
+//	               Bit flipped (a worst-case pinned bit). A negative Row,
+//	               Col or Bit is sampled deterministically from the seed.
+//	"burst"      — one SEU burst per Monte-Carlo round: a sampled (PE,
+//	               cycle-window) corrupts Span consecutive MAC slots.
+//	"voltregion" — the inclusive PE rectangle (Row0,Col0)-(Row1,Col1) runs
+//	               at supply V and draws bit flips at the voltage model's
+//	               timing-error BER, while the rest of the array keeps the
+//	               campaign's swept (nominal) BER.
+type Scenario struct {
+	// Kind is "stuckpe", "burst" or "voltregion".
+	Kind string `json:"kind"`
+	// Row, Col locate the stuck PE (stuckpe); -1 = sampled from the seed.
+	Row int `json:"row,omitempty"`
+	Col int `json:"col,omitempty"`
+	// Bit is the corrupted product-register bit (stuckpe), counted from the
+	// LSB; -1 = sampled from the seed.
+	Bit int `json:"bit,omitempty"`
+	// Span is the MAC slots corrupted per burst (burst; default 64).
+	Span int `json:"span,omitempty"`
+	// Row0..Col1 bound the stressed region, inclusive (voltregion).
+	Row0 int `json:"row0,omitempty"`
+	Col0 int `json:"col0,omitempty"`
+	Row1 int `json:"row1,omitempty"`
+	Col1 int `json:"col1,omitempty"`
+	// V is the region's supply voltage in volts (voltregion).
+	V float64 `json:"v,omitempty"`
+}
+
+// compile translates the wire scenario into the internal form, validated
+// against the DNN-Engine array and the campaign's quantization format.
+func (s Scenario) compile(f fixed.Format) (hwfault.Scenario, error) {
+	var hs hwfault.Scenario
+	switch s.Kind {
+	case "stuckpe":
+		hs = hwfault.Scenario{Kind: hwfault.StuckPE, PE: hwfault.PE{Row: s.Row, Col: s.Col}, Bit: s.Bit}
+	case "burst":
+		hs = hwfault.Scenario{Kind: hwfault.BurstSEU, Span: int64(s.Span)}
+	case "voltregion":
+		hs = hwfault.Scenario{
+			Kind:   hwfault.VoltRegion,
+			Region: hwfault.Region{Row0: s.Row0, Col0: s.Col0, Row1: s.Row1, Col1: s.Col1},
+			V:      s.V,
+		}
+	default:
+		return hs, fmt.Errorf("winofault: unknown scenario kind %q (want stuckpe, burst or voltregion)", s.Kind)
+	}
+	hs = hs.WithDefaults()
+	if err := hs.Validate(systolic.DNNEngine16, f); err != nil {
+		return hs, err
+	}
+	return hs, nil
+}
+
+// Normalized validates the scenario against the array geometry and the
+// campaign's quantization precision, returning the defaults-applied copy
+// that canonicalization (the service cache key) and execution share. Fields
+// irrelevant to the kind are zeroed; sampled coordinates stay -1 (their
+// identity is the seed, which is part of the campaign anyway).
+func (s Scenario) Normalized(p Precision) (Scenario, error) {
+	hs, err := s.compile(Config{Precision: p}.format())
+	if err != nil {
+		return Scenario{}, err
+	}
+	out := Scenario{Kind: s.Kind}
+	switch hs.Kind {
+	case hwfault.StuckPE:
+		out.Row, out.Col, out.Bit = hs.PE.Row, hs.PE.Col, hs.Bit
+	case hwfault.BurstSEU:
+		out.Span = int(hs.Span)
+	case hwfault.VoltRegion:
+		out.Row0, out.Col0 = hs.Region.Row0, hs.Region.Col0
+		out.Row1, out.Col1 = hs.Region.Row1, hs.Region.Col1
+		out.V = hs.V
+	}
+	return out, nil
 }
 
 func (c *Config) normalize() {
@@ -157,6 +249,42 @@ type System struct {
 	runner *faultsim.Runner
 	opts   faultsim.Options
 	census []fault.Census
+	// sched maps the scaled network onto the DNN-Engine PE array for
+	// hardware-located scenarios; built eagerly in New (it is geometry-only
+	// and cheap) so concurrent SweepHW calls never race on it.
+	sched []*hwfault.LayerSchedule
+}
+
+// injection compiles a scenario against this system's schedules. Sampled
+// stuck coordinates resolve from the campaign seed, so every process that
+// builds the same (config, scenario) pair injects identical faults.
+func (s *System) injection(sc Scenario) (*hwfault.Injection, error) {
+	// Scenario events are mul result-register flips; under any other
+	// semantics the injector would silently ignore them and hand back
+	// statistical results labeled as a scenario sweep.
+	if s.cfg.Semantics != ResultFlip {
+		return nil, fmt.Errorf("winofault: scenario %q requires result-flip semantics, got %q", sc.Kind, s.cfg.semantics())
+	}
+	hs, err := sc.compile(s.cfg.format())
+	if err != nil {
+		return nil, err
+	}
+	return hwfault.NewInjection(hs, systolic.DNNEngine16, s.cfg.format(), s.sched, s.cfg.Seed)
+}
+
+// scenarioBERs rejects non-positive BERs when a hardware scenario is
+// active: the unit-space contract treats BER <= 0 campaigns as exactly
+// fault-free, which a stuck PE is not, so such sweeps would silently lie.
+func (s *System) scenarioBERs(hw *hwfault.Injection, bers ...float64) error {
+	if hw == nil {
+		return nil
+	}
+	for _, ber := range bers {
+		if ber <= 0 {
+			return fmt.Errorf("winofault: hardware scenarios need positive BERs, got %v", ber)
+		}
+	}
+	return nil
 }
 
 // New builds a system: the scaled quantized network with deterministic
@@ -184,7 +312,7 @@ func New(cfg Config) (*System, error) {
 	})
 	set := dataset.ForModel(arch.Dataset, cfg.Samples, arch.In.H, cfg.Seed^0x5eed, f)
 	runner := faultsim.New(net, set.Batch(0, cfg.Samples))
-	return &System{
+	sys := &System{
 		cfg:    cfg,
 		arch:   arch,
 		full:   full,
@@ -197,7 +325,16 @@ func New(cfg Config) (*System, error) {
 			NeuronIntensity: models.NeuronIntensityFor(arch, full),
 			Workers:         cfg.Workers,
 		},
-	}, nil
+	}
+	sys.sched = hwfault.NetworkSchedules(systolic.DNNEngine16, arch, cfg.kind(), cfg.tile(), cfg.Samples)
+	if cfg.Scenario != nil {
+		inj, err := sys.injection(*cfg.Scenario) // also rejects non-result semantics
+		if err != nil {
+			return nil, err
+		}
+		sys.opts.HW = inj
+	}
+	return sys, nil
 }
 
 // Point is one (BER, accuracy) measurement.
@@ -207,14 +344,24 @@ type Point struct {
 }
 
 // Accuracy returns golden-agreement accuracy at the given bit error rate.
+// It panics on invalid arguments (a non-positive BER on a scenario-carrying
+// system); use AccuracyCtx to handle that as an error. Before scenarios no
+// error could reach this wrapper, and silently returning 0 would be
+// indistinguishable from a measured 0% accuracy.
 func (s *System) Accuracy(ber float64) float64 {
-	acc, _ := s.AccuracyCtx(context.Background(), ber)
+	acc, err := s.AccuracyCtx(context.Background(), ber)
+	if err != nil {
+		panic(err) // Background ctx never cancels: only validation errors land here
+	}
 	return acc
 }
 
 // AccuracyCtx is Accuracy with cancellation: when ctx is canceled the
 // campaign stops scheduling Monte-Carlo rounds and ctx.Err() is returned.
 func (s *System) AccuracyCtx(ctx context.Context, ber float64) (float64, error) {
+	if err := s.scenarioBERs(s.opts.HW, ber); err != nil {
+		return 0, err
+	}
 	acc := s.runner.Accuracy(ctx, ber, s.opts, s.cfg.Rounds)
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -222,9 +369,14 @@ func (s *System) AccuracyCtx(ctx context.Context, ber float64) (float64, error) 
 	return acc, nil
 }
 
-// Sweep measures accuracy across a BER range.
+// Sweep measures accuracy across a BER range. Like Accuracy it panics on
+// invalid arguments (a non-positive BER on a scenario-carrying system)
+// rather than silently returning nil; use SweepCtx to get the error.
 func (s *System) Sweep(bers []float64) []Point {
-	pts, _ := s.SweepCtx(context.Background(), bers)
+	pts, err := s.SweepCtx(context.Background(), bers)
+	if err != nil {
+		panic(err) // Background ctx never cancels: only validation errors land here
+	}
 	return pts
 }
 
@@ -232,7 +384,43 @@ func (s *System) Sweep(bers []float64) []Point {
 // scheduler stops claiming (BER point, round) units, the partial points are
 // discarded and ctx.Err() is returned.
 func (s *System) SweepCtx(ctx context.Context, bers []float64) ([]Point, error) {
+	if err := s.scenarioBERs(s.opts.HW, bers...); err != nil {
+		return nil, err
+	}
 	pts := s.runner.Sweep(ctx, bers, s.opts, s.cfg.Rounds)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point{BER: p.BER, Accuracy: p.Accuracy}
+	}
+	return out, nil
+}
+
+// SweepHW measures accuracy across a BER range with faults located on the
+// accelerator array by the given scenario, overriding any Config.Scenario
+// for this sweep. The BER axis keeps its statistical meaning as the
+// nominal background rate: a "voltregion" draws it outside the stressed
+// region, while "stuckpe" and "burst" ignore it (their fault process is the
+// scenario itself) — every BER must still be positive, because BER <= 0
+// points are defined as exactly fault-free by the unit-space contract.
+func (s *System) SweepHW(sc Scenario, bers []float64) ([]Point, error) {
+	return s.SweepHWCtx(context.Background(), sc, bers)
+}
+
+// SweepHWCtx is SweepHW with cancellation.
+func (s *System) SweepHWCtx(ctx context.Context, sc Scenario, bers []float64) ([]Point, error) {
+	inj, err := s.injection(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.scenarioBERs(inj, bers...); err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.HW = inj
+	pts := s.runner.Sweep(ctx, bers, opts, s.cfg.Rounds)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -262,6 +450,9 @@ func (s *System) SweepUnits(bers []float64) int {
 // range are bit-identical no matter which process computes them or with how
 // many workers.
 func (s *System) SweepUnitCounts(ctx context.Context, bers []float64, lo, hi int) ([]int, error) {
+	if err := s.scenarioBERs(s.opts.HW, bers...); err != nil {
+		return nil, err
+	}
 	cs := faultsim.SweepCampaigns(bers, s.opts)
 	if err := checkUnitRange(lo, hi, faultsim.Units(cs, s.cfg.Rounds)); err != nil {
 		return nil, err
@@ -296,6 +487,9 @@ func (s *System) LayerUnits(ber float64) int {
 
 // LayerUnitCounts is SweepUnitCounts for the layer-sensitivity batch.
 func (s *System) LayerUnitCounts(ctx context.Context, ber float64, lo, hi int) ([]int, error) {
+	if err := s.scenarioBERs(s.opts.HW, ber); err != nil {
+		return nil, err
+	}
 	cs := s.runner.LayerCampaigns(ber, s.opts)
 	if err := checkUnitRange(lo, hi, faultsim.Units(cs, s.cfg.Rounds)); err != nil {
 		return nil, err
@@ -389,15 +583,23 @@ type LayerSensitivity struct {
 
 // LayerSensitivities runs the paper's Fig. 3 analysis at the given BER,
 // returning the all-faulty baseline accuracy and per-layer results in
-// network order.
+// network order. Like Accuracy it panics on invalid arguments (a
+// non-positive BER on a scenario-carrying system); use
+// LayerSensitivitiesCtx to get the error.
 func (s *System) LayerSensitivities(ber float64) (baseline float64, layers []LayerSensitivity) {
-	baseline, layers, _ = s.LayerSensitivitiesCtx(context.Background(), ber)
+	baseline, layers, err := s.LayerSensitivitiesCtx(context.Background(), ber)
+	if err != nil {
+		panic(err) // Background ctx never cancels: only validation errors land here
+	}
 	return baseline, layers
 }
 
 // LayerSensitivitiesCtx is LayerSensitivities with cancellation: when ctx is
 // canceled the partial analysis is discarded and ctx.Err() is returned.
 func (s *System) LayerSensitivitiesCtx(ctx context.Context, ber float64) (baseline float64, layers []LayerSensitivity, err error) {
+	if err := s.scenarioBERs(s.opts.HW, ber); err != nil {
+		return 0, nil, err
+	}
 	base, per := s.runner.LayerSensitivity(ctx, ber, s.opts, s.cfg.Rounds)
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
