@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/fixed"
 	"repro/internal/models"
@@ -145,6 +146,37 @@ func BenchmarkForwardCtxDirect(b *testing.B) { benchForwardCtx(b, nn.Direct) }
 // BenchmarkForwardCtxWinograd is the steady-state winograd forward pass.
 func BenchmarkForwardCtxWinograd(b *testing.B) { benchForwardCtx(b, nn.Winograd) }
 
+// noEventInjector is a non-nil injector whose rounds carry no faults — the
+// shape of the overwhelming majority of rounds at realistic BERs.
+type noEventInjector struct{}
+
+func (noEventInjector) OpEvents(int, fault.Census) []fault.Event { return nil }
+func (noEventInjector) Neuron(int, *tensor.QTensor)              {}
+
+// BenchmarkForwardCtxDelta measures the steady-state delta-execution round
+// with an empty event stream: the pass reduces to collecting events, scanning
+// the dirty set and returning the cached golden logits. This is the unit the
+// campaign scheduler runs thousands of times per sweep at low BERs; allocs/op
+// must stay 0 (the golden-snapshot plane is part of the arena contract,
+// enforced by TestForwardDeltaAllocFree).
+func BenchmarkForwardCtxDelta(b *testing.B) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: nn.Winograd, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	in := tensor.Quantize(
+		tensor.New(tensor.Shape{N: 1, C: 3, H: arch.In.H, W: arch.In.W}).Random(rng.New(2), 0.5),
+		fixed.Int16)
+	ctx := net.NewExecContext()
+	inj := nn.Injector(noEventInjector{})
+	net.ForwardDelta(ctx, in, inj) // capture the golden plane
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardDelta(ctx, in, inj)
+	}
+}
+
 // Campaign-scheduler benchmarks: one 8-point BER sweep of a winograd
 // VGG19-tiny campaign at different worker counts. Accuracies are
 // bit-identical across all of these; only wall-clock changes. On an N-core
@@ -173,3 +205,35 @@ func BenchmarkSweepWorkers4(b *testing.B) { benchSweepWorkers(b, 4) }
 
 // BenchmarkSweepWorkersMax is the same sweep at the GOMAXPROCS default.
 func BenchmarkSweepWorkersMax(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// Delta-execution benchmarks: a serial sweep at the golden-fixture BERs
+// {3e-11, 3e-10, 1e-9} — the regime the accuracy fixtures pin, where most
+// Monte-Carlo rounds carry zero or very few fault events — with the
+// fault-cone delta path on (the default) versus forced-off full execution.
+// The Delta/DeltaOff ratio is the headline win of delta execution; accuracies
+// are bit-identical between the two (see TestDeltaMatchesFullExecution).
+// allocs/op of the delta variant pins the steady state: the golden plane and
+// scratch arenas are recycled across rounds, so allocations stay a small
+// per-unit constant (injector + reduction bookkeeping) instead of scaling
+// with the node count or the round's recompute work.
+func benchSweepDelta(b *testing.B, enabled bool) {
+	arch := models.VGG19(models.Tiny)
+	net := models.Build(arch, nn.Config{
+		Kind: nn.Winograd, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+	})
+	set := dataset.ForModel(arch.Dataset, 8, arch.In.H, 99, fixed.Int16)
+	runner := faultsim.New(net, set.Batch(0, 8))
+	bers := []float64{3e-11, 3e-10, 1e-9}
+	opts := faultsim.Options{Seed: 1, Workers: 1, DeltaExec: &enabled}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.Sweep(context.Background(), bers, opts, 2)
+	}
+}
+
+// BenchmarkSweepDelta is the fixture-BER sweep with delta execution.
+func BenchmarkSweepDelta(b *testing.B) { benchSweepDelta(b, true) }
+
+// BenchmarkSweepDeltaOff is the same sweep forced through full execution.
+func BenchmarkSweepDeltaOff(b *testing.B) { benchSweepDelta(b, false) }

@@ -62,6 +62,12 @@ type CampaignRequest struct {
 	// Workers caps the campaign's scheduler parallelism on the server
 	// (bounded by the server's own per-job budget; 0 = server default).
 	Workers int `json:"workers,omitempty"`
+	// DeltaExec toggles the fault-cone delta-execution fast path on
+	// whichever process runs the campaign (absent = enabled). Results are
+	// bit-identical with it on or off, so like Workers it is a scheduling
+	// hint excluded from the service's cache key — a request spelling
+	// "deltaExec": false addresses the same cache entry as one omitting it.
+	DeltaExec *bool `json:"deltaExec,omitempty"`
 }
 
 // SystemConfig translates the wire request into the facade Config, rejecting
@@ -78,6 +84,7 @@ func (r CampaignRequest) SystemConfig() (Config, error) {
 		TileF4:    r.TileF4,
 		Workers:   r.Workers,
 		Scenario:  r.Scenario,
+		DeltaExec: r.DeltaExec,
 	}
 	switch r.Engine {
 	case "", "direct":

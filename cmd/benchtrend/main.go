@@ -1,0 +1,201 @@
+// Command benchtrend renders the ns/op trajectory of the hot-path benchmarks
+// across perf snapshots — the BENCH_<sha>.json files the CI bench job
+// produces, of which the repo commits one per landed perf milestone under
+// bench/. Each snapshot holds count=6 runs per benchmark; benchtrend
+// aggregates them by minimum (noise on shared machines is one-sided, so the
+// fastest run estimates true cost — the same estimator the CI regression gate
+// uses) and prints one row per benchmark with the per-snapshot deltas.
+//
+// Usage:
+//
+//	benchtrend                       # committed snapshots under bench/
+//	benchtrend -dir path/to/snaps    # another snapshot directory
+//	benchtrend a.json b.json c.json  # explicit files, trajectory in arg order
+//
+// Directory snapshots are ordered by their "seq" field (the committed
+// files carry one; CI artifacts do not and sort after, by sha) so the
+// trajectory reads oldest to newest.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// snapshot is the BENCH_<sha>.json schema produced by the CI bench job; Seq
+// is the additive field committed snapshots use to order the trajectory.
+type snapshot struct {
+	Sha        string      `json:"sha"`
+	Ref        string      `json:"ref"`
+	Goos       string      `json:"goos"`
+	Goarch     string      `json:"goarch"`
+	Go         string      `json:"go"`
+	Seq        *int        `json:"seq"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// gomaxprocsSuffix is the -N tail `go test` appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// best folds a snapshot's repeated runs into min ns/op per benchmark name
+// (GOMAXPROCS suffix stripped, so snapshots from different machines align).
+func best(s snapshot) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range s.Benchmarks {
+		name := gomaxprocsSuffix.ReplaceAllString(b.Name, "")
+		if v, ok := out[name]; !ok || b.NsPerOp < v {
+			out[name] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: snapshot has no benchmarks", path)
+	}
+	return s, nil
+}
+
+// order sorts directory-loaded snapshots into trajectory order: by seq when
+// present, seq-less ones after (by sha, for determinism).
+func order(snaps []snapshot) {
+	sort.SliceStable(snaps, func(i, j int) bool {
+		si, sj := snaps[i].Seq, snaps[j].Seq
+		switch {
+		case si != nil && sj != nil:
+			return *si < *sj
+		case si != nil:
+			return true
+		case sj != nil:
+			return false
+		default:
+			return snaps[i].Sha < snaps[j].Sha
+		}
+	})
+}
+
+// short is the 7-character sha column label.
+func short(sha string) string {
+	if len(sha) > 7 {
+		return sha[:7]
+	}
+	if sha == "" {
+		return "unknown"
+	}
+	return sha
+}
+
+// human renders ns/op at a glance: ns, µs, ms as magnitude demands.
+func human(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// trend renders the trajectory table: one row per benchmark, one column per
+// snapshot, later columns annotated with the change against the previous
+// snapshot that had the benchmark.
+func trend(w *strings.Builder, snaps []snapshot, match string) int {
+	bests := make([]map[string]float64, len(snaps))
+	seen := map[string]bool{}
+	var names []string
+	for i, s := range snaps {
+		bests[i] = best(s)
+		for name := range bests[i] {
+			if !seen[name] && strings.Contains(name, match) {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-34s", "benchmark")
+	for _, s := range snaps {
+		fmt.Fprintf(w, " %20s", short(s.Sha))
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-34s", name)
+		prev := 0.0
+		for i := range snaps {
+			v, ok := bests[i][name]
+			switch {
+			case !ok:
+				fmt.Fprintf(w, " %20s", "-")
+			case prev == 0:
+				fmt.Fprintf(w, " %20s", human(v))
+			default:
+				fmt.Fprintf(w, " %20s", fmt.Sprintf("%s (%+.1f%%)", human(v), (v/prev-1)*100))
+			}
+			if ok {
+				prev = v
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return len(names)
+}
+
+func main() {
+	dir := flag.String("dir", "bench", "snapshot directory scanned when no files are given")
+	match := flag.String("bench", "", "only benchmarks whose name contains this substring")
+	flag.Parse()
+
+	paths := flag.Args()
+	fromDir := len(paths) == 0
+	if fromDir {
+		var err error
+		paths, err = filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+		if err != nil || len(paths) == 0 {
+			fatal("no BENCH_*.json snapshots under %s", *dir)
+		}
+	}
+	var snaps []snapshot
+	for _, p := range paths {
+		s, err := load(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		snaps = append(snaps, s)
+	}
+	if fromDir {
+		order(snaps)
+	}
+	var out strings.Builder
+	if trend(&out, snaps, *match) == 0 {
+		fatal("no benchmarks match %q", *match)
+	}
+	fmt.Print(out.String())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtrend: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func seqPtr(n int) *int { return &n }
+
+func testSnaps() []snapshot {
+	return []snapshot{
+		{Sha: "bbbbbbbbbbbb", Seq: seqPtr(1), Benchmarks: []benchmark{
+			{Name: "BenchmarkSweep-8", NsPerOp: 90e6},
+			{Name: "BenchmarkSweep-8", NsPerOp: 110e6},
+			{Name: "BenchmarkNew-8", NsPerOp: 500},
+		}},
+		{Sha: "aaaaaaaaaaaa", Seq: seqPtr(0), Benchmarks: []benchmark{
+			{Name: "BenchmarkSweep-8", NsPerOp: 180e6},
+			{Name: "BenchmarkSweep-8", NsPerOp: 176e6},
+		}},
+	}
+}
+
+// TestBestTakesMinAndStripsSuffix: repeated count>1 runs fold to the fastest,
+// under the GOMAXPROCS-free name.
+func TestBestTakesMinAndStripsSuffix(t *testing.T) {
+	b := best(testSnaps()[0])
+	if got := b["BenchmarkSweep"]; got != 90e6 {
+		t.Errorf("best ns/op = %v, want the 90ms minimum", got)
+	}
+	if _, ok := b["BenchmarkSweep-8"]; ok {
+		t.Error("GOMAXPROCS suffix survived aggregation")
+	}
+}
+
+// TestOrderBySeq: committed snapshots sort by seq regardless of sha order;
+// seq-less CI artifacts fall to the end.
+func TestOrderBySeq(t *testing.T) {
+	snaps := append(testSnaps(), snapshot{Sha: "000artifact"})
+	order(snaps)
+	if snaps[0].Sha != "aaaaaaaaaaaa" || snaps[1].Sha != "bbbbbbbbbbbb" || snaps[2].Sha != "000artifact" {
+		t.Errorf("trajectory order wrong: %s, %s, %s", snaps[0].Sha, snaps[1].Sha, snaps[2].Sha)
+	}
+}
+
+// TestTrendTable: the rendered table carries per-snapshot deltas, dashes for
+// snapshots missing a benchmark, and honors the -bench filter.
+func TestTrendTable(t *testing.T) {
+	snaps := testSnaps()
+	order(snaps)
+	var out strings.Builder
+	if n := trend(&out, snaps, ""); n != 2 {
+		t.Fatalf("trend rendered %d benchmarks, want 2", n)
+	}
+	table := out.String()
+	for _, want := range []string{"aaaaaaa", "bbbbbbb", "176.0ms", "90.0ms (-48.9%)", "-"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	out.Reset()
+	if n := trend(&out, snaps, "New"); n != 1 || strings.Contains(out.String(), "BenchmarkSweep") {
+		t.Errorf("filter \"New\" rendered %d benchmarks:\n%s", n, out.String())
+	}
+}
+
+// TestHumanUnits pins the magnitude formatting.
+func TestHumanUnits(t *testing.T) {
+	cases := map[float64]string{450: "450ns", 4500: "4.5µs", 4.5e6: "4.5ms"}
+	for ns, want := range cases {
+		if got := human(ns); got != want {
+			t.Errorf("human(%v) = %q, want %q", ns, got, want)
+		}
+	}
+}

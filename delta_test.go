@@ -1,0 +1,157 @@
+package winofault
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func deltaOff() *bool { off := false; return &off }
+func deltaOn() *bool  { on := true; return &on }
+
+// TestDeltaMatchesFullExecution is the facade-level acceptance fixture for
+// delta execution: across the whole model zoo, both engines and the golden-
+// fixture BERs, a system running the fault-cone delta path returns sweep
+// points bit-identical to one forced through full execution. Worker-count
+// invariance of the delta path is pinned separately below, so here each
+// model/engine pair runs one representative worker count.
+func TestDeltaMatchesFullExecution(t *testing.T) {
+	bers := []float64{3e-11, 3e-10, 1e-9}
+	workersFor := map[string]int{"vgg19": 1, "resnet50": 2, "densenet169": 8, "googlenet": 4}
+	for model, workers := range workersFor {
+		for _, engine := range []Engine{Direct, Winograd} {
+			t.Run(fmt.Sprintf("%s/%v", model, engine), func(t *testing.T) {
+				cfg := Config{
+					Model: model, Engine: engine, WidthMult: 0.125, InputSize: 16,
+					Samples: 8, Rounds: 2, Seed: 3, Workers: workers,
+				}
+				cfg.DeltaExec = deltaOff()
+				full, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := full.Sweep(bers)
+
+				cfg.DeltaExec = nil // the default: delta on
+				delta, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := delta.Sweep(bers)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("point %d: delta %+v != full %+v (bit-identity broken)", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaWorkerCountInvariant: the delta path keeps the scheduler's
+// bit-identical-for-any-worker-count guarantee — per-worker golden planes
+// cannot leak state between units.
+func TestDeltaWorkerCountInvariant(t *testing.T) {
+	bers := []float64{3e-10, 1e-9}
+	var want []Point
+	for _, workers := range []int{1, 2, 8} {
+		cfg := testConfig(Winograd)
+		cfg.Rounds = 2
+		cfg.Workers = workers
+		cfg.DeltaExec = deltaOn()
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sys.Sweep(bers)
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDeltaShardedSweepBitIdentical: unit-range shards computed by delta-
+// enabled systems must merge to the bytes a full-execution system produces
+// locally, so delta and non-delta workers can serve the same distributed
+// campaign.
+func TestDeltaShardedSweepBitIdentical(t *testing.T) {
+	bers := []float64{1e-9, 1e-8}
+	cfg := testConfig(Winograd)
+	cfg.Rounds = 2
+	cfg.DeltaExec = deltaOff()
+	full, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.SweepCtx(context.Background(), bers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := full.SweepUnits(bers)
+	cfg.DeltaExec = nil // shard workers run the delta default
+	var counts []int
+	for _, r := range [][2]int{{0, total / 3}, {total / 3, total / 2}, {total / 2, total}} {
+		remote, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := remote.SweepUnitCounts(context.Background(), bers, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, part...)
+	}
+	got, err := full.SweepFromCounts(bers, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d: delta-sharded %+v != full local %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeltaMatchesFullScenario extends bit-identity to hardware-located
+// campaigns: the stuck-PE and voltage-region event generators drive the same
+// dirty-set machinery as the statistical sampler, so delta on/off must agree
+// on every point.
+func TestDeltaMatchesFullScenario(t *testing.T) {
+	bers := []float64{1e-10, 1e-9}
+	for _, sc := range []Scenario{
+		{Kind: "stuckpe", Row: 0, Col: 0, Bit: 24},
+		{Kind: "voltregion", Row0: 0, Col0: 0, Row1: 3, Col1: 3, V: 0.75},
+	} {
+		cfg := scenarioConfig(Winograd, &sc)
+		cfg.Rounds = 2
+		cfg.DeltaExec = deltaOff()
+		full, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.SweepCtx(context.Background(), bers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DeltaExec = nil
+		delta, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := delta.SweepCtx(context.Background(), bers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s point %d: delta %+v != full %+v", sc.Kind, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ package faultsim
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/conv"
@@ -64,6 +65,20 @@ type Options struct {
 	// are still skipped as exactly fault-free, so hardware scenarios must
 	// run at a positive (background) BER to take effect.
 	HW *hwfault.Injection
+	// DeltaExec controls the fault-cone delta-execution fast path: each
+	// worker caches the golden per-node activations in its ExecContext and
+	// per round recomputes only the nodes downstream of that round's fault
+	// events, reusing golden outputs everywhere else. Results are
+	// bit-identical to full execution (the engines are deterministic, so a
+	// node outside the fault cone can only produce its golden activation;
+	// pinned by the golden fixtures and the delta equivalence tests), so
+	// nil — the default — means enabled. Point at false to force full
+	// re-execution of every round (debugging, paired validation runs).
+	//
+	// Neuron-level semantics fall back to full execution automatically:
+	// neuron flips are not located by the event stream, so no dirty set can
+	// bound their cone.
+	DeltaExec *bool
 	// Workers caps the campaign scheduler's parallelism. 0 (the default)
 	// means GOMAXPROCS; 1 forces serial execution. Results are bit-identical
 	// for every worker count: each (campaign, round) work unit derives its
@@ -83,6 +98,12 @@ type Runner struct {
 	Net    *nn.Network
 	Inputs *tensor.QTensor // the full evaluation batch
 	golden []int
+	// ecPool recycles per-worker ExecContexts across campaign batches, so
+	// scratch arenas and delta-execution golden planes warmed by one batch
+	// carry over to the next instead of being rebuilt per call. Contexts
+	// hold no result-affecting state (determinism is per-unit rng), so
+	// recycling cannot change any outcome.
+	ecPool sync.Pool
 }
 
 // New computes the golden predictions and returns a ready runner.
@@ -158,6 +179,13 @@ func (in *injector) Neuron(li int, q *tensor.QTensor) {
 	fault.InjectNeuronsIntensity(q, in.model.BER, intensity, in.round.Split(uint64(li)^0x9e37))
 }
 
+// deltaEnabled reports whether this campaign runs the delta-execution fast
+// path: on unless explicitly disabled, and never for neuron-level semantics
+// (whose in-place activation corruption the event stream cannot locate).
+func (o *Options) deltaEnabled() bool {
+	return (o.DeltaExec == nil || *o.DeltaExec) && o.Semantics != fault.NeuronFlip
+}
+
 // Campaign is one accuracy measurement: a BER paired with campaign options.
 // Batches of campaigns share the scheduler's worker pool, so heterogeneous
 // evaluations (e.g. the TMR optimizer's candidate plans, or the operation-
@@ -180,7 +208,13 @@ func (r *Runner) roundAgree(ec *nn.ExecContext, c *Campaign, convSet map[int]str
 		fmt:     r.Inputs.Fmt,
 		convSet: convSet,
 	}
-	preds := nn.Argmax(r.Net.ForwardCtx(ec, r.Inputs, inj))
+	var logits *tensor.QTensor
+	if c.Opts.deltaEnabled() {
+		logits = r.Net.ForwardDelta(ec, r.Inputs, inj)
+	} else {
+		logits = r.Net.ForwardCtx(ec, r.Inputs, inj)
+	}
+	preds := nn.Argmax(logits)
 	agree := 0
 	for i, p := range preds {
 		if p == r.golden[i] {

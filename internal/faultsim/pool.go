@@ -43,12 +43,24 @@ func resolveWorkers(workers int) int {
 	return workers
 }
 
+// execContext draws a per-worker ExecContext from the runner's recycling
+// pool (warm scratch arenas and golden planes survive across batches),
+// falling back to a fresh one when the pool is empty.
+func (r *Runner) execContext() *nn.ExecContext {
+	if ec, ok := r.ecPool.Get().(*nn.ExecContext); ok {
+		return ec
+	}
+	return r.Net.NewExecContext()
+}
+
 // runUnits executes fn(ctx, u) for every unit u in [0, n) across the given
 // number of workers, stopping early (without running the remaining units)
 // once ctx is canceled. Each worker owns a private nn.ExecContext over the
 // runner's network, so forward passes reuse per-worker state without
-// sharing any of it. A panic in any unit is captured and re-raised on the
-// calling goroutine once all workers have drained.
+// sharing any of it; contexts return to the runner's pool when the worker
+// drains normally. A panic in any unit is captured and re-raised on the
+// calling goroutine once all workers have drained (its context is dropped —
+// mid-pass scratch state is not re-pooled).
 func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.ExecContext, u int)) {
 	if n <= 0 {
 		return
@@ -59,7 +71,7 @@ func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.Ex
 	}
 	done := ctx.Done()
 	if workers == 1 {
-		ec := r.Net.NewExecContext()
+		ec := r.execContext()
 		for u := 0; u < n; u++ {
 			select {
 			case <-done:
@@ -68,6 +80,7 @@ func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.Ex
 			}
 			fn(ec, u)
 		}
+		r.ecPool.Put(ec)
 		return
 	}
 
@@ -88,7 +101,7 @@ func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.Ex
 					next.Store(int64(n))
 				}
 			}()
-			ec := r.Net.NewExecContext()
+			ec := r.execContext()
 			for {
 				select {
 				case <-done:
@@ -97,6 +110,7 @@ func (r *Runner) runUnits(ctx context.Context, workers, n int, fn func(ec *nn.Ex
 				}
 				u := int(next.Add(1)) - 1
 				if u >= n {
+					r.ecPool.Put(ec)
 					return
 				}
 				fn(ec, u)

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"repro/internal/fault"
+	"repro/internal/tensor"
+)
+
+// Delta execution (see DESIGN.md "Delta execution"): a fault round differs
+// from the golden run only at the nodes its fault events touch. Because
+// every Op.Forward is a deterministic function of its inputs and events, a
+// node with no events whose ancestors are all clean produces exactly the
+// golden activation — so the round only needs to recompute the fault cone,
+// the downstream closure of the event-carrying nodes, and can reuse the
+// cached golden activation everywhere else.
+//
+// Soundness rests on two existing contracts:
+//
+//   - Event purity: injectors derive each node's events from per-node rng
+//     splits of the (seed, round) stream, and splitting never advances the
+//     parent, so collecting all events up front (to know the dirty set
+//     before executing) yields bit-identical events to the interleaved
+//     collection ForwardCtx performs.
+//   - Replay ordering: a recomputed node receives the exact event slice the
+//     injector produced, so the engine applies the events in the same
+//     per-op order as a full pass — recomputed activations are bit-identical,
+//     not merely statistically equivalent.
+
+// goldenPlane is the per-context cache of golden (fault-free) per-node
+// activations, captured once per (context, input) and reused across the
+// thousands of Monte-Carlo rounds of a campaign.
+type goldenPlane struct {
+	acts []*tensor.QTensor // private copies; never aliased by op scratch
+	in   *tensor.QTensor   // the input the plane was captured for
+}
+
+// deltaState is the reusable per-round working set of ForwardDelta.
+type deltaState struct {
+	events     [][]fault.Event // per-node events of the current round
+	dirty      []bool          // per-node membership in the round's fault cone
+	recomputed int             // Op.Forward calls the last round made
+}
+
+// captureGolden runs one full fault-free pass and snapshots every node's
+// activation into the context's golden plane. Buffers are allocated on the
+// first capture and recycled when the plane is re-captured for a new input
+// of the same geometry.
+func (c *ExecContext) captureGolden(in *tensor.QTensor) {
+	n := c.net
+	if c.golden.acts == nil || len(c.golden.acts) != len(n.Nodes) {
+		c.golden.acts = make([]*tensor.QTensor, len(n.Nodes))
+	}
+	if c.delta.events == nil || len(c.delta.events) != len(n.Nodes) {
+		c.delta.events = make([][]fault.Event, len(n.Nodes))
+		c.delta.dirty = make([]bool, len(n.Nodes))
+	}
+	n.ForwardCtx(c, in, nil)
+	for i := range n.Nodes {
+		dst := c.golden.acts[i]
+		src := c.acts[i]
+		if dst == nil || dst.Shape != src.Shape || dst.Fmt != src.Fmt {
+			dst = tensor.NewQ(src.Shape, src.Fmt)
+			c.golden.acts[i] = dst
+		}
+		copy(dst.Data, src.Data)
+	}
+	c.golden.in = in
+}
+
+// InvalidateGolden drops the cached golden plane, forcing the next
+// ForwardDelta call to re-capture it. Needed only when the contents of the
+// input tensor change in place; passing a different tensor (or a different
+// shape) re-captures automatically.
+func (c *ExecContext) InvalidateGolden() { c.golden.in = nil }
+
+// ForwardDelta runs the network like ForwardCtx but recomputes only the
+// fault cone of the round: nodes carrying fault events plus everything
+// downstream of them. Clean nodes reuse the context's cached golden
+// activations, so a round with few (or no) events costs a small fraction of
+// a full pass while remaining bit-identical to ForwardCtx — the engines are
+// deterministic, so a node outside the cone can only ever produce its golden
+// output.
+//
+// Contract: inj must inject exclusively through OpEvents (its Neuron method
+// must be a no-op) — neuron-level semantics corrupt activations behind the
+// graph's back, where no event stream locates the damage, so those campaigns
+// must use ForwardCtx. The input tensor must not be mutated between calls
+// with the same context; a different tensor (by pointer or shape) triggers a
+// fresh golden capture, an in-place mutation requires InvalidateGolden.
+//
+// A nil inj returns the golden output directly (capturing the plane if
+// needed). The returned tensor remains valid until the next Forward*/
+// InvalidateGolden call on the same context.
+func (n *Network) ForwardDelta(ctx *ExecContext, in *tensor.QTensor, inj Injector) *tensor.QTensor {
+	if ctx.net != n {
+		panic("nn: ExecContext bound to a different network")
+	}
+	ctx.prepare(in.Shape)
+	if ctx.golden.in != in {
+		ctx.captureGolden(in)
+	}
+	ctx.delta.recomputed = 0
+	if inj == nil {
+		return ctx.golden.acts[n.Output]
+	}
+
+	// Collect the round's events node by node, in node order — the same
+	// calls, against the same per-node streams, a full pass would make —
+	// and close the dirty set downstream while at it: a node is dirty iff
+	// it carries events or consumes a dirty node, and inputs always precede
+	// consumers in the topological node order.
+	events, dirty := ctx.delta.events, ctx.delta.dirty
+	any := false
+	for i := range n.Nodes {
+		var evs []fault.Event
+		if ctx.hasOps[i] {
+			evs = inj.OpEvents(i, ctx.census[i])
+		}
+		events[i] = evs
+		d := len(evs) > 0
+		if !d {
+			for _, idx := range n.Nodes[i].Inputs {
+				if idx != InputNode && dirty[idx] {
+					d = true
+					break
+				}
+			}
+		}
+		dirty[i] = d
+		any = any || d
+	}
+	if !any {
+		return ctx.golden.acts[n.Output]
+	}
+
+	for i := range n.Nodes {
+		// Re-check the inputs: a node marked dirty in the closure may have
+		// re-converged ancestors (see below), turning it clean after all.
+		if dirty[i] && len(events[i]) == 0 {
+			d := false
+			for _, idx := range n.Nodes[i].Inputs {
+				if idx != InputNode && dirty[idx] {
+					d = true
+					break
+				}
+			}
+			dirty[i] = d
+		}
+		if !dirty[i] {
+			ctx.acts[i] = ctx.golden.acts[i]
+			continue
+		}
+		nd := &n.Nodes[i]
+		ins := ctx.ins[i]
+		for j, idx := range nd.Inputs {
+			if idx == InputNode {
+				ins[j] = in
+			} else {
+				ins[j] = ctx.acts[idx]
+			}
+		}
+		out := nd.Op.Forward(ctx.scratch[i], ins, events[i])
+		ctx.delta.recomputed++
+		// Re-convergence detection: faults are often masked within a layer
+		// or two (ReLU clamps negatives, maxpool discards non-maxima,
+		// saturating quantization rounds small perturbations away). When a
+		// recomputed activation equals its golden copy bit-for-bit, the
+		// node rejoins the clean region and its consumers can skip
+		// recomputation — the compare is a linear scan, negligible against
+		// any conv. Publishing the golden tensor (not the scratch output)
+		// keeps the invariant that clean consumers always read the plane.
+		if sameData(out, ctx.golden.acts[i]) {
+			dirty[i] = false
+			ctx.acts[i] = ctx.golden.acts[i]
+			continue
+		}
+		ctx.acts[i] = out
+	}
+	return ctx.acts[n.Output]
+}
+
+// sameData reports whether two equal-geometry tensors hold identical values.
+func sameData(a, b *tensor.QTensor) bool {
+	if a.Shape != b.Shape || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RecomputeCount reports how many Op.Forward calls the last ForwardDelta
+// round made — the dirty closure before re-convergence thinning (diagnostics
+// and tests only).
+func (c *ExecContext) RecomputeCount() int { return c.delta.recomputed }
+
+// DirtyCount reports how many nodes remained dirty after the last
+// ForwardDelta round, i.e. the fault cone minus the nodes whose recomputed
+// activations re-converged to golden (diagnostics and tests only).
+func (c *ExecContext) DirtyCount() int {
+	count := 0
+	for _, d := range c.delta.dirty {
+		if d {
+			count++
+		}
+	}
+	return count
+}

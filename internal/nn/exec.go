@@ -23,6 +23,13 @@ import (
 // padded-input copies, cached accumulator-scale biases) threaded through
 // Op.Forward, so after the first round a steady-state fault-free ForwardCtx
 // performs no heap allocation at all (enforced by TestForwardCtxAllocFree).
+//
+// For delta execution (ForwardDelta, see delta.go) the context additionally
+// carries a golden-snapshot plane: one private copy of every node's
+// fault-free activation, captured once per (context, input) and reused as
+// the output of all clean nodes in each fault round. Like the scratch
+// arenas it is allocated once and recycled, so steady-state delta rounds
+// are allocation-free too.
 
 // ExecContext is the reusable per-goroutine state of forward passes over one
 // Network. The zero value is not usable; obtain one from
@@ -39,6 +46,8 @@ type ExecContext struct {
 	acts    []*tensor.QTensor
 	ins     [][]*tensor.QTensor // per-node resolved input views, refilled per pass
 	scratch []*Scratch          // per-node reusable buffer arenas (see scratch.go)
+	golden  goldenPlane         // cached golden activations (see delta.go)
+	delta   deltaState          // per-round delta-execution working set
 }
 
 // NewExecContext returns an execution context bound to this network.
@@ -53,6 +62,8 @@ func (c *ExecContext) prepare(inShape tensor.Shape) {
 	}
 	n := c.net
 	c.inShape = inShape
+	c.golden = goldenPlane{} // node geometry changed: the plane is stale
+	c.delta = deltaState{}
 	c.shapes = make([]tensor.Shape, len(n.Nodes))
 	c.census = make([]fault.Census, len(n.Nodes))
 	c.hasOps = make([]bool, len(n.Nodes))

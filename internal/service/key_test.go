@@ -121,6 +121,23 @@ func TestKeyIgnoresWorkers(t *testing.T) {
 	}
 }
 
+// TestKeyIgnoresDeltaExec: like Workers, delta execution is scheduling, not
+// campaign identity — results are bit-identical with it on, off or defaulted
+// (pinned by the delta equivalence fixtures), so none of the three spellings
+// may shard the cache, and the wfcampaign/v1 schema stays unchanged.
+func TestKeyIgnoresDeltaExec(t *testing.T) {
+	off, on := false, true
+	want := mustKey(t, winofault.CampaignRequest{BERs: []float64{1e-9}})
+	for name, req := range map[string]winofault.CampaignRequest{
+		"explicit off": {BERs: []float64{1e-9}, DeltaExec: &off},
+		"explicit on":  {BERs: []float64{1e-9}, DeltaExec: &on},
+	} {
+		if got := mustKey(t, req); got != want {
+			t.Errorf("%s sharded the cache: %s vs %s", name, got, want)
+		}
+	}
+}
+
 // TestKeyDistinguishesResultAffectingFields: every field that changes the
 // campaign's outcome must change the key.
 func TestKeyDistinguishesResultAffectingFields(t *testing.T) {

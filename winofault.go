@@ -95,6 +95,14 @@ type Config struct {
 	// serial). Every result is bit-identical for any worker count; Workers
 	// only changes wall-clock time.
 	Workers int
+	// DeltaExec controls the fault-cone delta-execution fast path: per
+	// Monte-Carlo round only the nodes downstream of that round's fault
+	// events are recomputed against each worker's cached golden
+	// activations. Like Workers it can only change wall-clock time —
+	// results are bit-identical either way — so nil (the default) means
+	// enabled; point at false to force full re-execution of every round.
+	// Neuron-flip semantics always run the full path.
+	DeltaExec *bool
 	// Scenario optionally locates the campaign's faults on the DNN-Engine
 	// PE array (stuck PE, SEU burst, voltage-stressed region) instead of
 	// drawing them i.i.d. over the op census. Requires ResultFlip semantics
@@ -324,6 +332,7 @@ func New(cfg Config) (*System, error) {
 			Intensity:       models.IntensityFor(arch, full, cfg.kind(), cfg.tile()),
 			NeuronIntensity: models.NeuronIntensityFor(arch, full),
 			Workers:         cfg.Workers,
+			DeltaExec:       cfg.DeltaExec,
 		},
 	}
 	sys.sched = hwfault.NetworkSchedules(systolic.DNNEngine16, arch, cfg.kind(), cfg.tile(), cfg.Samples)
