@@ -1,0 +1,182 @@
+package winofault
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/fault"
+	"repro/internal/fixed"
+	"repro/internal/kernel"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/winograd"
+)
+
+// These tests pin the kernel seam's central claim end to end: every compute
+// backend is bit-identical, not merely statistically close. The kernel-level
+// half (per-primitive differential tests over random operands) lives in
+// internal/kernel; here whole campaigns and whole forward passes must agree
+// to the byte.
+
+// sweepWith runs one sweep under the given backend/workers/delta knobs and
+// returns the points.
+func sweepWith(t *testing.T, cfg Config, bers []float64) []Point {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Sweep(bers)
+}
+
+// TestBackendSweepBitIdentical compares full statistical campaigns between
+// the scalar and blocked backends across the model zoo and both engines; for
+// vgg19 additionally across worker counts and delta execution on/off, and
+// for one hardware-located stuckpe scenario. Accuracies must be equal as
+// float64 bit patterns — any divergence means a backend changed an integer
+// sum somewhere.
+func TestBackendSweepBitIdentical(t *testing.T) {
+	bers := []float64{3e-11, 3e-10, 1e-9}
+	base := Config{
+		WidthMult: 0.125, InputSize: 16, Samples: 8, Rounds: 2, Seed: 3, Workers: 4,
+	}
+	for _, model := range []string{"vgg19", "resnet50", "densenet169", "googlenet"} {
+		for _, engine := range []Engine{Direct, Winograd} {
+			t.Run(fmt.Sprintf("%s/%v", model, engine), func(t *testing.T) {
+				cfg := base
+				cfg.Model, cfg.Engine = model, engine
+				cfg.Backend = "scalar"
+				want := sweepWith(t, cfg, bers)
+				cfg.Backend = "blocked"
+				got := sweepWith(t, cfg, bers)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Errorf("point %d: scalar %+v != blocked %+v", i, want[i], got[i])
+					}
+				}
+			})
+		}
+	}
+
+	// Workers x delta: the backend stamp must survive context pooling and
+	// the delta-execution golden planes at every parallelism level.
+	t.Run("vgg19/workers-delta", func(t *testing.T) {
+		for _, workers := range []int{1, 2, 8} {
+			for _, delta := range []bool{true, false} {
+				d := delta
+				cfg := base
+				cfg.Model, cfg.Engine = "vgg19", Winograd
+				cfg.Workers, cfg.DeltaExec = workers, &d
+				cfg.Backend = "scalar"
+				want := sweepWith(t, cfg, bers)
+				cfg.Backend = "blocked"
+				got := sweepWith(t, cfg, bers)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Errorf("workers=%d delta=%t point %d: scalar %+v != blocked %+v",
+							workers, delta, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	})
+
+	// Hardware-located events replay on the reference path regardless of
+	// backend; the surrounding fault-free tiles do not, so a stuckpe
+	// campaign exercises both sides of the seam in one sweep.
+	t.Run("vgg19/stuckpe", func(t *testing.T) {
+		sc := Scenario{Kind: "stuckpe", Row: 1, Col: 2, Bit: 24}
+		results := map[string][]Point{}
+		for _, backend := range []string{"scalar", "blocked"} {
+			cfg := base
+			cfg.Model, cfg.Engine, cfg.Backend = "vgg19", Winograd, backend
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts, err := sys.SweepHW(sc, bers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[backend] = pts
+		}
+		for i := range results["scalar"] {
+			if results["scalar"][i] != results["blocked"][i] {
+				t.Errorf("stuckpe point %d: scalar %+v != blocked %+v",
+					i, results["scalar"][i], results["blocked"][i])
+			}
+		}
+	})
+}
+
+// diffInjector feeds identical deterministic (seed, round, node) fault events
+// to every context it is used with, mirroring faultsim's statistical sampler.
+type diffInjector struct {
+	seed  uint64
+	round uint64
+	ber   float64
+	fmt   fixed.Format
+}
+
+func (in *diffInjector) OpEvents(li int, census fault.Census) []fault.Event {
+	evs := fault.Sample(rng.New(in.seed).Split(in.round).Split(uint64(li)), census, census,
+		fault.Model{BER: in.ber, Semantics: fault.ResultFlip}, in.fmt, fault.Protection{})
+	conv.MarkResultFlip(evs)
+	return evs
+}
+
+func (in *diffInjector) Neuron(int, *tensor.QTensor) {}
+
+// TestBackendRandomizedDifferential feeds the exact same randomized fault
+// rounds to two execution contexts — one per backend — and requires the
+// output logits tensors to be element-for-element equal. Unlike the sweep
+// comparison (which reduces to accuracies), this catches a backend divergence
+// in any single output element, faulty rounds included.
+func TestBackendRandomizedDifferential(t *testing.T) {
+	for _, kind := range []nn.EngineKind{nn.Direct, nn.Winograd} {
+		arch := models.VGG19(models.Tiny)
+		net := models.Build(arch, nn.Config{
+			Kind: kind, Tile: winograd.F2, ActFmt: fixed.Int16, WFmt: fixed.Int16, Seed: 1,
+		})
+		in := tensor.Quantize(
+			tensor.New(tensor.Shape{N: 2, C: 3, H: arch.In.H, W: arch.In.W}).Random(rng.New(2), 0.5),
+			fixed.Int16)
+		ctxs := map[string]*nn.ExecContext{}
+		for _, backend := range []string{"scalar", "blocked"} {
+			bk, err := kernel.Get(backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := net.NewExecContext()
+			ctx.UseBackend(bk)
+			ctxs[backend] = ctx
+		}
+		for round := uint64(0); round < 8; round++ {
+			// Round 0 is fault-free; later rounds draw dense event sets so
+			// replay tiles and fast tiles mix within one pass.
+			ber := 0.0
+			if round > 0 {
+				ber = 1e-9 * float64(round)
+			}
+			logits := map[string][]int32{}
+			for backend, ctx := range ctxs {
+				inj := &diffInjector{seed: 11, round: round, ber: ber, fmt: fixed.Int16}
+				out := net.ForwardCtx(ctx, in, inj)
+				logits[backend] = append([]int32(nil), out.Data...)
+			}
+			want, got := logits["scalar"], logits["blocked"]
+			if len(want) != len(got) {
+				t.Fatalf("%v round %d: logits length %d != %d", kind, round, len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%v round %d: logits[%d] scalar %d != blocked %d",
+						kind, round, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/kernel"
 )
 
 // This file is the thin client side of the campaign service (cmd/wfserve,
@@ -22,9 +24,11 @@ import (
 // Config), so a request that spells a default explicitly is the same
 // campaign — and hits the same cache entry — as one that omits it.
 //
-// Everything except Workers contributes to the result; Workers is a
-// scheduling hint (results are bit-identical for any worker count) and is
-// therefore excluded from the service's cache key.
+// Everything except Workers, DeltaExec and Backend contributes to the
+// result; those three are scheduling/performance hints (results are
+// bit-identical for any worker count, with delta execution on or off, and
+// under every compute backend) and are therefore excluded from the service's
+// cache key.
 type CampaignRequest struct {
 	// Model is one of "vgg19", "resnet50", "densenet169", "googlenet".
 	Model string `json:"model,omitempty"`
@@ -68,6 +72,12 @@ type CampaignRequest struct {
 	// hint excluded from the service's cache key — a request spelling
 	// "deltaExec": false addresses the same cache entry as one omitting it.
 	DeltaExec *bool `json:"deltaExec,omitempty"`
+	// Backend names the compute backend that runs the fault-free hot paths
+	// on the serving process: "scalar" or "blocked" ("" = process default).
+	// Backends are bit-identical by contract, so like Workers and DeltaExec
+	// it is excluded from the cache key; unknown names are rejected at
+	// submission time.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SystemConfig translates the wire request into the facade Config, rejecting
@@ -85,6 +95,7 @@ func (r CampaignRequest) SystemConfig() (Config, error) {
 		Workers:   r.Workers,
 		Scenario:  r.Scenario,
 		DeltaExec: r.DeltaExec,
+		Backend:   r.Backend,
 	}
 	switch r.Engine {
 	case "", "direct":
@@ -108,6 +119,11 @@ func (r CampaignRequest) SystemConfig() (Config, error) {
 		cfg.Semantics = NeuronFlip
 	default:
 		return cfg, fmt.Errorf("winofault: unknown semantics %q (want result, operand or neuron)", r.Semantics)
+	}
+	// Reject unknown backend names here so the service 400s them at submit
+	// time instead of keying a job that can only fail on the worker.
+	if _, err := kernel.Get(r.Backend); err != nil {
+		return cfg, fmt.Errorf("winofault: %w", err)
 	}
 	return cfg, nil
 }

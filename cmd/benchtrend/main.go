@@ -119,8 +119,12 @@ func human(ns float64) string {
 }
 
 // trend renders the trajectory table: one row per benchmark, one column per
-// snapshot, later columns annotated with the change against the previous
-// snapshot that had the benchmark.
+// snapshot, each later column annotated with the change against the
+// immediately-previous snapshot. Benchmarks appearing mid-trajectory render
+// from their first appearance: the first measured column after a "-" (absent)
+// column is marked "(new)" rather than carrying a stale delta against some
+// older snapshot — new benches land mid-history all the time and their first
+// number is a baseline, not a regression.
 func trend(w *strings.Builder, snaps []snapshot, match string) int {
 	bests := make([]map[string]float64, len(snaps))
 	seen := map[string]bool{}
@@ -143,19 +147,21 @@ func trend(w *strings.Builder, snaps []snapshot, match string) int {
 	fmt.Fprintln(w)
 	for _, name := range names {
 		fmt.Fprintf(w, "%-34s", name)
-		prev := 0.0
 		for i := range snaps {
 			v, ok := bests[i][name]
+			prev, hasPrev := 0.0, false
+			if i > 0 {
+				prev, hasPrev = bests[i-1][name]
+			}
 			switch {
 			case !ok:
 				fmt.Fprintf(w, " %20s", "-")
-			case prev == 0:
+			case hasPrev:
+				fmt.Fprintf(w, " %20s", fmt.Sprintf("%s (%+.1f%%)", human(v), (v/prev-1)*100))
+			case i == 0:
 				fmt.Fprintf(w, " %20s", human(v))
 			default:
-				fmt.Fprintf(w, " %20s", fmt.Sprintf("%s (%+.1f%%)", human(v), (v/prev-1)*100))
-			}
-			if ok {
-				prev = v
+				fmt.Fprintf(w, " %20s", human(v)+" (new)")
 			}
 		}
 		fmt.Fprintln(w)

@@ -64,6 +64,47 @@ func TestTrendTable(t *testing.T) {
 	}
 }
 
+// TestTrendMidTrajectory: benchmarks appearing mid-history render from their
+// first appearance marked "(new)", and a benchmark that skips a snapshot
+// restarts with "(new)" instead of a stale delta against the last snapshot
+// that had it — only adjacent snapshots are ever compared.
+func TestTrendMidTrajectory(t *testing.T) {
+	snaps := []snapshot{
+		{Sha: "aaaaaaaaaaaa", Seq: seqPtr(0), Benchmarks: []benchmark{
+			{Name: "BenchmarkOld-8", NsPerOp: 100e6},
+			{Name: "BenchmarkGap-8", NsPerOp: 50e6},
+		}},
+		{Sha: "bbbbbbbbbbbb", Seq: seqPtr(1), Benchmarks: []benchmark{
+			{Name: "BenchmarkOld-8", NsPerOp: 80e6},
+		}},
+		{Sha: "cccccccccccc", Seq: seqPtr(2), Benchmarks: []benchmark{
+			{Name: "BenchmarkOld-8", NsPerOp: 80e6},
+			{Name: "BenchmarkGap-8", NsPerOp: 100e6},
+			{Name: "BenchmarkMid-8", NsPerOp: 500},
+		}},
+	}
+	var out strings.Builder
+	if n := trend(&out, snaps, ""); n != 3 {
+		t.Fatalf("trend rendered %d benchmarks, want 3", n)
+	}
+	table := out.String()
+	// A bench landing in the last snapshot: two dashes then a (new) baseline.
+	for _, want := range []string{"500ns (new)", "100.0ms (new)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// The gap must not produce a delta against the pre-gap value (that would
+	// render 100ms (+100.0%) against snapshot a's 50ms).
+	if strings.Contains(table, "+100.0%") {
+		t.Errorf("gap produced a stale cross-gap delta:\n%s", table)
+	}
+	// Continuity still annotates adjacent columns.
+	if !strings.Contains(table, "80.0ms (-20.0%)") {
+		t.Errorf("adjacent delta missing:\n%s", table)
+	}
+}
+
 // TestHumanUnits pins the magnitude formatting.
 func TestHumanUnits(t *testing.T) {
 	cases := map[float64]string{450: "450ns", 4500: "4.5µs", 4.5e6: "4.5ms"}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fixed"
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 )
 
@@ -101,13 +102,21 @@ func (p *Params) accumBias(inFmt fixed.Format) []int64 {
 }
 
 // Scratch is the reusable buffer arena of one layer's forward passes: the
-// padded-input copy, the recycled output tensor and the accumulator-scale
-// bias cache. The zero value is ready to use; a Scratch belongs to one
-// (Params, goroutine) pair and makes steady-state passes allocation-free.
-// See DESIGN.md, memory model.
+// padded-input copy, the recycled output tensor, the accumulator-row buffer
+// and the accumulator-scale bias cache. The zero value is ready to use; a
+// Scratch belongs to one (Params, goroutine) pair and makes steady-state
+// passes allocation-free. See DESIGN.md, memory model.
+//
+// Backend selects the compute backend for the fault-free fast path (see
+// internal/kernel); nil means the process default. Every backend is
+// bit-identical, so the choice can never change a result — the fault-replay
+// path ignores it entirely and always runs the reference scalar code.
 type Scratch struct {
+	Backend kernel.Backend
+
 	padded  *tensor.QTensor
 	out     *tensor.QTensor
+	accRow  []int64
 	bias    []int64
 	biasFmt fixed.Format
 	biasOK  bool
@@ -167,13 +176,18 @@ func ForwardFaulty(in *tensor.QTensor, p *Params, events []fault.Event) *tensor.
 }
 
 // ForwardFaultyCtx is ForwardFaulty drawing every buffer from sc. The fast
-// path computes the whole layer, then every output element touched by an
-// event is recomputed through the scalar replay path with its events applied
-// in op order. The returned tensor aliases sc and is valid until the next
-// call with the same scratch.
+// path computes the whole layer through sc's compute backend (see
+// internal/kernel; every backend is bit-identical), then every output
+// element touched by an event is recomputed through the scalar replay path
+// with its events applied in op order. The returned tensor aliases sc and is
+// valid until the next call with the same scratch.
 func ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, p *Params, events []fault.Event) *tensor.QTensor {
 	if sc == nil {
 		sc = &Scratch{}
+	}
+	bk := sc.Backend
+	if bk == nil {
+		bk = kernel.Default()
 	}
 	ws := p.Weight.Shape
 	if in.Shape.C != ws.C {
@@ -192,30 +206,41 @@ func ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, p *Params, events []fault
 	ic, kh, kw := ws.C, ws.H, ws.W
 	ph, pw := padded.Shape.H, padded.Shape.W
 
-	for n := 0; n < outShape.N; n++ {
-		for o := 0; o < oc; o++ {
-			var b int64
-			if bias != nil {
-				b = bias[o]
+	if kh == 1 && kw == 1 && ph == 1 && pw == 1 {
+		// Fully-connected case (1x1 kernel over a 1x1 plane): both operand
+		// rows are contiguous, so the whole output element is one dot.
+		for n := 0; n < outShape.N; n++ {
+			a := padded.Data[n*ic : (n+1)*ic]
+			for o := 0; o < oc; o++ {
+				var b int64
+				if bias != nil {
+					b = bias[o]
+				}
+				acc := bk.Dot(a, p.Weight.Data[o*ic:(o+1)*ic], b)
+				out.Data[n*oc+o] = p.OutFmt.RequantizeShift(acc, shift)
 			}
-			wBase := o * ic * kh * kw
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy * p.Stride
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox * p.Stride
-					acc := b
-					for c := 0; c < ic; c++ {
-						inBase := ((n*in.Shape.C+c)*ph + iy0) * pw
-						wRow := wBase + c*kh*kw
-						for ky := 0; ky < kh; ky++ {
-							inRow := inBase + ky*pw + ix0
-							wr := wRow + ky*kw
-							for kx := 0; kx < kw; kx++ {
-								acc += int64(padded.Data[inRow+kx]) * int64(p.Weight.Data[wr+kx])
-							}
-						}
+		}
+	} else {
+		if cap(sc.accRow) < ow {
+			sc.accRow = make([]int64, ow)
+		}
+		accRow := sc.accRow[:ow]
+		chanStride := ph * pw
+		for n := 0; n < outShape.N; n++ {
+			for o := 0; o < oc; o++ {
+				var b int64
+				if bias != nil {
+					b = bias[o]
+				}
+				wBase := o * ic * kh * kw
+				wRow := p.Weight.Data[wBase : wBase+ic*kh*kw]
+				for oy := 0; oy < oh; oy++ {
+					inBase := (n*in.Shape.C*ph + oy*p.Stride) * pw
+					bk.ConvRow(accRow, padded.Data, wRow, b, inBase, p.Stride, ic, kh, kw, chanStride, pw)
+					outRow := outShape.Index(n, o, oy, 0)
+					for ox := 0; ox < ow; ox++ {
+						out.Data[outRow+ox] = p.OutFmt.RequantizeShift(accRow[ox], shift)
 					}
-					out.Data[outShape.Index(n, o, oy, ox)] = p.OutFmt.RequantizeShift(acc, shift)
 				}
 			}
 		}

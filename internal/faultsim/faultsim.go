@@ -20,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fixed"
 	"repro/internal/hwfault"
+	"repro/internal/kernel"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -79,6 +80,15 @@ type Options struct {
 	// neuron flips are not located by the event stream, so no dirty set can
 	// bound their cone.
 	DeltaExec *bool
+	// Backend names the registered compute backend (internal/kernel) that
+	// runs the fault-free hot paths; "" means the process default (scalar,
+	// unless overridden by the WF_BACKEND environment variable). Backends
+	// are bit-identical by contract — like Workers and DeltaExec this is a
+	// scheduling/performance knob, never a result-affecting one, and the
+	// service cache key ignores it for the same reason. The name must be
+	// registered: facades validate via kernel.Get before building Options,
+	// and UnitCounts panics on an unknown name (programming error).
+	Backend string
 	// Workers caps the campaign scheduler's parallelism. 0 (the default)
 	// means GOMAXPROCS; 1 forces serial execution. Results are bit-identical
 	// for every worker count: each (campaign, round) work unit derives its
@@ -199,7 +209,11 @@ type Campaign struct {
 // evaluation samples agree with the golden predictions. All randomness is
 // derived from (c.Opts.Seed, round) alone, so the result is independent of
 // which worker executes it and in what order.
-func (r *Runner) roundAgree(ec *nn.ExecContext, c *Campaign, convSet map[int]struct{}, round int) int {
+func (r *Runner) roundAgree(ec *nn.ExecContext, c *Campaign, bk kernel.Backend, convSet map[int]struct{}, round int) int {
+	// Stamp the campaign's backend every unit: pooled contexts are recycled
+	// across batches whose Options may differ. Backends are bit-identical,
+	// so this can affect wall-clock only.
+	ec.UseBackend(bk)
 	inj := &injector{
 		opts:    &c.Opts,
 		model:   fault.Model{BER: c.BER, Semantics: c.Opts.Semantics},
@@ -292,10 +306,18 @@ func (r *Runner) UnitCounts(ctx context.Context, cs []Campaign, rounds, lo, hi i
 		panic(fmt.Sprintf("faultsim: unit range [%d, %d) outside [0, %d)", lo, hi, len(units)))
 	}
 	workers := 1
+	bks := make([]kernel.Backend, len(cs))
 	for i := range cs {
 		if cs[i].Opts.Intensity != nil && len(cs[i].Opts.Intensity) != len(r.Net.Nodes) {
 			panic(fmt.Sprintf("faultsim: intensity length %d != %d nodes", len(cs[i].Opts.Intensity), len(r.Net.Nodes)))
 		}
+		// Facades validate backend names at the boundary; an unknown name
+		// here is engine misuse, like a bad intensity length.
+		bk, err := kernel.Get(cs[i].Opts.Backend)
+		if err != nil {
+			panic(fmt.Sprintf("faultsim: %v", err))
+		}
+		bks[i] = bk
 		// Resolve before taking the max: Workers == 0 means GOMAXPROCS and
 		// must not lose to an explicit small positive count.
 		if w := cs[i].Opts.ResolvedWorkers(); w > workers {
@@ -322,7 +344,7 @@ func (r *Runner) UnitCounts(ctx context.Context, cs []Campaign, rounds, lo, hi i
 	var completed atomic.Int64
 	r.runUnits(ctx, workers, hi-lo, func(ec *nn.ExecContext, u int) {
 		un := units[lo+u]
-		agree[u] = r.roundAgree(ec, &cs[un.c], convSet, un.round)
+		agree[u] = r.roundAgree(ec, &cs[un.c], bks[un.c], convSet, un.round)
 		if progress != nil {
 			progress(int(completed.Add(1)), hi-lo)
 		}

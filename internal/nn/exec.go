@@ -2,6 +2,7 @@ package nn
 
 import (
 	"repro/internal/fault"
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 )
 
@@ -48,6 +49,24 @@ type ExecContext struct {
 	scratch []*Scratch          // per-node reusable buffer arenas (see scratch.go)
 	golden  goldenPlane         // cached golden activations (see delta.go)
 	delta   deltaState          // per-round delta-execution working set
+	backend kernel.Backend      // compute backend for the fault-free hot paths
+}
+
+// UseBackend selects the compute backend for subsequent forward passes on
+// this context; nil restores the process default (kernel.Default, resolved at
+// the engine level). Backends are bit-identical by contract, so switching can
+// never change results — only wall-clock — which is why contexts recycled
+// across campaign batches (faultsim's pool) may be restamped freely.
+func (c *ExecContext) UseBackend(b kernel.Backend) {
+	if c.backend == b {
+		return
+	}
+	c.backend = b
+	for _, s := range c.scratch {
+		if s != nil {
+			s.kb = b
+		}
+	}
 }
 
 // NewExecContext returns an execution context bound to this network.
@@ -76,7 +95,7 @@ func (c *ExecContext) prepare(inShape tensor.Shape) {
 		c.hasOps[i] = c.census[i].Total() > 0
 		c.shapes[i] = n.Nodes[i].Op.OutShape(ins)
 		c.ins[i] = make([]*tensor.QTensor, len(n.Nodes[i].Inputs))
-		c.scratch[i] = &Scratch{}
+		c.scratch[i] = &Scratch{kb: c.backend}
 	}
 }
 

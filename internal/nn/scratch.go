@@ -3,6 +3,7 @@ package nn
 import (
 	"repro/internal/conv"
 	"repro/internal/fixed"
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 	"repro/internal/winograd"
 )
@@ -20,6 +21,7 @@ type Scratch struct {
 	out  *tensor.QTensor   // recycled output of simple (non-conv) ops
 	conv *conv.Scratch     // direct-convolution arena
 	wg   *winograd.Scratch // winograd-layer arena
+	kb   kernel.Backend    // compute backend stamped onto the engine arenas
 }
 
 // Output returns a recycled output tensor of the given shape and format.
@@ -44,6 +46,7 @@ func (s *Scratch) convScratch() *conv.Scratch {
 	if s.conv == nil {
 		s.conv = &conv.Scratch{}
 	}
+	s.conv.Backend = s.kb
 	return s.conv
 }
 
@@ -55,5 +58,6 @@ func (s *Scratch) wgScratch() *winograd.Scratch {
 	if s.wg == nil {
 		s.wg = &winograd.Scratch{}
 	}
+	s.wg.Backend = s.kb
 	return s.wg
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fixed"
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 )
 
@@ -223,12 +224,15 @@ func (s *tileSorter) Swap(i, j int) {
 // paths reach the scratch-reusing forwardAcc through Layer.ForwardFaultyCtx,
 // whose winograd.Scratch owns the core scratch.
 func (p *Params) ForwardAcc(in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
-	return p.forwardAcc(&coreScratch{}, in, events)
+	return p.forwardAcc(&coreScratch{}, kernel.Default(), in, events)
 }
 
-// forwardAcc is ForwardAcc against a caller-owned scratch: the returned slice
-// aliases cs.acc and is valid until the next call with the same scratch.
-func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
+// forwardAcc is ForwardAcc against a caller-owned scratch and compute backend:
+// the returned slice aliases cs.acc and is valid until the next call with the
+// same scratch. Only the fault-free tile path goes through bk; tiles with
+// events replay on the reference census-ordered walk, so the backend can never
+// perturb fault semantics.
+func (p *Params) forwardAcc(cs *coreScratch, bk kernel.Backend, in *tensor.QTensor, events []fault.Event) ([]int64, tensor.Shape) {
 	if in.Shape.C != p.InC {
 		panic(fmt.Sprintf("winograd: input channels %d != %d", in.Shape.C, p.InC))
 	}
@@ -288,7 +292,7 @@ func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.
 	outW := outShape.W
 	outChan := outShape.H * outW
 	inC, outC := p.InC, p.OutC
-	inXform, outXform, inXformRows := t.inXform, t.outXform, t.inXformRows
+	kt, fast := t.kernelTile()
 
 	for n := 0; n < in.Shape.N; n++ {
 		extBatch := n * inC * extChan
@@ -315,8 +319,8 @@ func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.
 				tileBase := extBatch + ty*m*extW + tx*m
 				for c := 0; c < inC; c++ {
 					base := tileBase + c*extChan
-					if inXformRows != nil {
-						inXformRows(ext.Data[base:base+(T-1)*extW+T], extW, v[c*t2:(c+1)*t2])
+					if fast {
+						bk.InputRows(kt, ext.Data[base:base+(T-1)*extW+T], extW, v[c*t2:(c+1)*t2])
 						continue
 					}
 					for i := 0; i < T; i++ {
@@ -326,11 +330,7 @@ func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.
 						}
 						base += extW
 					}
-					if inXform != nil {
-						inXform(d, v[c*t2:(c+1)*t2])
-					} else {
-						matTransform(t.BT, T, T, d, v[c*t2:(c+1)*t2], tmp)
-					}
+					matTransform(t.BT, T, T, d, v[c*t2:(c+1)*t2], tmp)
 				}
 				for c := 0; c < inC; c++ {
 					vb := c * t2
@@ -338,39 +338,20 @@ func (p *Params) forwardAcc(cs *coreScratch, in *tensor.QTensor, events []fault.
 						vT[i*inC+c] = v[vb+i]
 					}
 				}
-				// Hadamard + channel accumulation: for each (position, out
+				// Hadamard + channel accumulation. For each (position, out
 				// channel) both the weight row UT[i][o][:] and the activation
-				// row vT[i][:] are contiguous; summation stays in increasing
-				// channel order, so the int64 sums are bit-identical to the
-				// channel-major loop.
-				for i := 0; i < t2; i++ {
-					vRow := vT[i*inC : (i+1)*inC]
-					uPos := p.UT[i*outC*inC : (i+1)*outC*inC]
-					for o := 0; o < outC; o++ {
-						uRow := uPos[o*inC : o*inC+inC]
-						uRow = uRow[:len(vRow)]
-						var s int64
-						c := 0
-						for ; c+3 < len(vRow); c += 4 {
-							s += int64(uRow[c])*vRow[c] +
-								int64(uRow[c+1])*vRow[c+1] +
-								int64(uRow[c+2])*vRow[c+2] +
-								int64(uRow[c+3])*vRow[c+3]
-						}
-						for ; c < len(vRow); c++ {
-							s += int64(uRow[c]) * vRow[c]
-						}
-						msum[o*t2+i] = s
-					}
-				}
+				// row vT[i][:] are contiguous; every backend sums exactly that
+				// product set in int64, so the results are bit-identical no
+				// matter how the backend blocks the loops.
+				bk.Hadamard(msum, vT, p.UT, t2, outC, inC)
 				// Output transform + write-out per out channel.
 				mj := m
 				if rest := outShape.W - tx*m; rest < m {
 					mj = rest
 				}
 				for o := 0; o < outC; o++ {
-					if outXform != nil {
-						outXform(msum[o*t2:(o+1)*t2], y)
+					if fast {
+						bk.Output(kt, msum[o*t2:(o+1)*t2], y)
 					} else {
 						matTransform(t.AT, m, T, msum[o*t2:(o+1)*t2], y, tmp)
 					}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fixed"
+	"repro/internal/kernel"
 	"repro/internal/tensor"
 )
 
@@ -195,6 +196,11 @@ func (l *Layer) sumAddsPerOut() int64 {
 // to one (Layer, goroutine) pair and makes steady-state fault-free passes
 // allocation-free. See DESIGN.md, memory model.
 type Scratch struct {
+	// Backend selects the compute backend for the fault-free tile paths;
+	// nil means the process default (kernel.Default). Backends are
+	// bit-identical by contract, and fault replay ignores this entirely.
+	Backend kernel.Backend
+
 	core    coreScratch       // shared by the units (identical geometry)
 	gather  []*tensor.QTensor // per-unit gathered input views
 	acc     []int64           // summation-domain accumulator
@@ -354,6 +360,10 @@ func (l *Layer) ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, events []fault
 	}
 	uin := l.unitInShape(in.Shape)
 	outShape := l.OutShape(in.Shape)
+	bk := sc.Backend
+	if bk == nil {
+		bk = kernel.Default()
+	}
 
 	unitEvents, sumEvents := l.routeEvents(sc, uin, events)
 
@@ -374,7 +384,7 @@ func (l *Layer) ForwardFaultyCtx(sc *Scratch, in *tensor.QTensor, events []fault
 		if unitEvents != nil {
 			uevs = unitEvents[ui]
 		}
-		ua, us := u.p.forwardAcc(&sc.core, g, uevs)
+		ua, us := u.p.forwardAcc(&sc.core, bk, g, uevs)
 		if us != outShape {
 			panic(fmt.Sprintf("winograd: unit output %v != layer output %v", us, outShape))
 		}

@@ -15,6 +15,8 @@
 // paper's fault-tolerance argument builds on.
 package winograd
 
+import "repro/internal/kernel"
+
 // Tile describes one F(MxM, RxR) winograd algorithm via its constant
 // transform matrices. BT and AT are integer matrices (their entries are
 // implemented in hardware as shift-adds); G is fractional and used only for
@@ -30,19 +32,23 @@ type Tile struct {
 	BT        [][]int64   // T x T input transform (transposed B)
 	G         [][]float64 // T x R filter transform
 	AT        [][]int64   // M x T output transform (transposed A)
+}
 
-	// inXform/outXform are straight-line specializations of matTransform for
-	// this tile's constant BT/AT (shift-add networks, exactly as hardware
-	// implements them). int64 addition and multiplication form a commutative
-	// ring, so their reassociated sums are bit-identical to the generic
-	// loops'. nil falls back to matTransform; the fault-replay path always
-	// uses the generic census-ordered walk.
-	inXform  func(d, out []int64)
-	outXform func(msum, out []int64)
-	// inXformRows is inXform fused with the tile load: it reads the TxT
-	// window directly from the quantized activation rows at src (row pitch
-	// stride), skipping the int64 staging buffer.
-	inXformRows func(src []int32, stride int, out []int64)
+// kernelTile maps the tile onto the compute-backend transform entry points
+// (internal/kernel): straight-line specializations of matTransform for the
+// constant BT/AT (shift-add networks, exactly as hardware implements them).
+// int64 addition and multiplication form a commutative ring, so their
+// reassociated sums are bit-identical to the generic loops'. Unmapped tiles
+// fall back to matTransform; the fault-replay path always uses the generic
+// census-ordered walk regardless.
+func (t *Tile) kernelTile() (kernel.Tile, bool) {
+	switch t {
+	case F2:
+		return kernel.F2, true
+	case F4:
+		return kernel.F4, true
+	}
+	return 0, false
 }
 
 // T returns the input tile edge M + R - 1.
@@ -139,168 +145,6 @@ var F4 = &Tile{
 
 // Tiles lists the supported tile algorithms.
 var Tiles = []*Tile{F2, F4}
-
-func init() {
-	F2.inXform = f2InputTransform
-	F2.outXform = f2OutputTransform
-	F2.inXformRows = f2InputTransformRows
-	F4.inXform = f4InputTransform
-	F4.outXform = f4OutputTransform
-	F4.inXformRows = f4InputTransformRows
-}
-
-// f2InputTransform computes out = BT·d·BTᵀ for F(2x2,3x3): per 1D pass
-// r0 = x0-x2, r1 = x1+x2, r2 = x2-x1, r3 = x1-x3.
-func f2InputTransform(d, out []int64) {
-	var s [16]int64
-	_ = d[15]
-	for c := 0; c < 4; c++ {
-		d0, d1, d2, d3 := d[c], d[4+c], d[8+c], d[12+c]
-		s[c] = d0 - d2
-		s[4+c] = d1 + d2
-		s[8+c] = d2 - d1
-		s[12+c] = d1 - d3
-	}
-	_ = out[15]
-	for r := 0; r < 4; r++ {
-		s0, s1, s2, s3 := s[r*4], s[r*4+1], s[r*4+2], s[r*4+3]
-		out[r*4] = s0 - s2
-		out[r*4+1] = s1 + s2
-		out[r*4+2] = s2 - s1
-		out[r*4+3] = s1 - s3
-	}
-}
-
-// f2InputTransformRows is f2InputTransform reading the 4x4 window straight
-// from four activation rows of pitch stride.
-func f2InputTransformRows(src []int32, stride int, out []int64) {
-	var s [16]int64
-	r0 := src[0:4:4]
-	r1 := src[stride : stride+4 : stride+4]
-	r2 := src[2*stride : 2*stride+4 : 2*stride+4]
-	r3 := src[3*stride : 3*stride+4 : 3*stride+4]
-	for c := 0; c < 4; c++ {
-		d0, d1, d2, d3 := int64(r0[c]), int64(r1[c]), int64(r2[c]), int64(r3[c])
-		s[c] = d0 - d2
-		s[4+c] = d1 + d2
-		s[8+c] = d2 - d1
-		s[12+c] = d1 - d3
-	}
-	_ = out[15]
-	for r := 0; r < 4; r++ {
-		s0, s1, s2, s3 := s[r*4], s[r*4+1], s[r*4+2], s[r*4+3]
-		out[r*4] = s0 - s2
-		out[r*4+1] = s1 + s2
-		out[r*4+2] = s2 - s1
-		out[r*4+3] = s1 - s3
-	}
-}
-
-// f2OutputTransform computes out = AT·msum·ATᵀ for F(2x2,3x3): per 1D pass
-// r0 = x0+x1+x2, r1 = x1-x2-x3.
-func f2OutputTransform(msum, out []int64) {
-	var s [8]int64
-	_ = msum[15]
-	for c := 0; c < 4; c++ {
-		m0, m1, m2, m3 := msum[c], msum[4+c], msum[8+c], msum[12+c]
-		s[c] = m0 + m1 + m2
-		s[4+c] = m1 - m2 - m3
-	}
-	_ = out[3]
-	for r := 0; r < 2; r++ {
-		s0, s1, s2, s3 := s[r*4], s[r*4+1], s[r*4+2], s[r*4+3]
-		out[r*2] = s0 + s1 + s2
-		out[r*2+1] = s1 - s2 - s3
-	}
-}
-
-// f4InputTransform is the F(4x4,3x3) input transform: per 1D pass
-//
-//	r0 = 4x0 - 5x2 + x4
-//	r1 = -4x1 - 4x2 + x3 + x4
-//	r2 = 4x1 - 4x2 - x3 + x4
-//	r3 = -2x1 - x2 + 2x3 + x4
-//	r4 = 2x1 - x2 - 2x3 + x4
-//	r5 = 4x1 - 5x3 + x5
-func f4InputTransform(d, out []int64) {
-	var s [36]int64
-	_ = d[35]
-	for c := 0; c < 6; c++ {
-		d0, d1, d2, d3, d4, d5 := d[c], d[6+c], d[12+c], d[18+c], d[24+c], d[30+c]
-		s[c] = 4*d0 - 5*d2 + d4
-		s[6+c] = -4*d1 - 4*d2 + d3 + d4
-		s[12+c] = 4*d1 - 4*d2 - d3 + d4
-		s[18+c] = -2*d1 - d2 + 2*d3 + d4
-		s[24+c] = 2*d1 - d2 - 2*d3 + d4
-		s[30+c] = 4*d1 - 5*d3 + d5
-	}
-	_ = out[35]
-	for r := 0; r < 6; r++ {
-		s0, s1, s2, s3, s4, s5 := s[r*6], s[r*6+1], s[r*6+2], s[r*6+3], s[r*6+4], s[r*6+5]
-		out[r*6] = 4*s0 - 5*s2 + s4
-		out[r*6+1] = -4*s1 - 4*s2 + s3 + s4
-		out[r*6+2] = 4*s1 - 4*s2 - s3 + s4
-		out[r*6+3] = -2*s1 - s2 + 2*s3 + s4
-		out[r*6+4] = 2*s1 - s2 - 2*s3 + s4
-		out[r*6+5] = 4*s1 - 5*s3 + s5
-	}
-}
-
-// f4InputTransformRows is f4InputTransform reading the 6x6 window straight
-// from six activation rows of pitch stride.
-func f4InputTransformRows(src []int32, stride int, out []int64) {
-	var s [36]int64
-	for c := 0; c < 6; c++ {
-		d0 := int64(src[c])
-		d1 := int64(src[stride+c])
-		d2 := int64(src[2*stride+c])
-		d3 := int64(src[3*stride+c])
-		d4 := int64(src[4*stride+c])
-		d5 := int64(src[5*stride+c])
-		s[c] = 4*d0 - 5*d2 + d4
-		s[6+c] = -4*d1 - 4*d2 + d3 + d4
-		s[12+c] = 4*d1 - 4*d2 - d3 + d4
-		s[18+c] = -2*d1 - d2 + 2*d3 + d4
-		s[24+c] = 2*d1 - d2 - 2*d3 + d4
-		s[30+c] = 4*d1 - 5*d3 + d5
-	}
-	_ = out[35]
-	for r := 0; r < 6; r++ {
-		s0, s1, s2, s3, s4, s5 := s[r*6], s[r*6+1], s[r*6+2], s[r*6+3], s[r*6+4], s[r*6+5]
-		out[r*6] = 4*s0 - 5*s2 + s4
-		out[r*6+1] = -4*s1 - 4*s2 + s3 + s4
-		out[r*6+2] = 4*s1 - 4*s2 - s3 + s4
-		out[r*6+3] = -2*s1 - s2 + 2*s3 + s4
-		out[r*6+4] = 2*s1 - s2 - 2*s3 + s4
-		out[r*6+5] = 4*s1 - 5*s3 + s5
-	}
-}
-
-// f4OutputTransform is the F(4x4,3x3) output transform: per 1D pass
-//
-//	r0 = x0 + x1 + x2 + x3 + x4
-//	r1 = x1 - x2 + 2x3 - 2x4
-//	r2 = x1 + x2 + 4x3 + 4x4
-//	r3 = x1 - x2 + 8x3 - 8x4 + x5
-func f4OutputTransform(msum, out []int64) {
-	var s [24]int64
-	_ = msum[35]
-	for c := 0; c < 6; c++ {
-		m0, m1, m2, m3, m4, m5 := msum[c], msum[6+c], msum[12+c], msum[18+c], msum[24+c], msum[30+c]
-		s[c] = m0 + m1 + m2 + m3 + m4
-		s[6+c] = m1 - m2 + 2*m3 - 2*m4
-		s[12+c] = m1 + m2 + 4*m3 + 4*m4
-		s[18+c] = m1 - m2 + 8*m3 - 8*m4 + m5
-	}
-	_ = out[15]
-	for r := 0; r < 4; r++ {
-		s0, s1, s2, s3, s4, s5 := s[r*6], s[r*6+1], s[r*6+2], s[r*6+3], s[r*6+4], s[r*6+5]
-		out[r*4] = s0 + s1 + s2 + s3 + s4
-		out[r*4+1] = s1 - s2 + 2*s3 - 2*s4
-		out[r*4+2] = s1 + s2 + 4*s3 + 4*s4
-		out[r*4+3] = s1 - s2 + 8*s3 - 8*s4 + s5
-	}
-}
 
 // matTransform computes out = mat · in · matᵀ for a TxT input, where mat is
 // rows x T; out is rows x rows. It is the shared fast path for both the

@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/fixed"
 	"repro/internal/hwfault"
+	"repro/internal/kernel"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/systolic"
@@ -103,6 +104,12 @@ type Config struct {
 	// enabled; point at false to force full re-execution of every round.
 	// Neuron-flip semantics always run the full path.
 	DeltaExec *bool
+	// Backend names the compute backend for the fault-free hot paths:
+	// "scalar" (the bit-exactness reference) or "blocked" (hand-blocked
+	// kernels); "" means the process default. Backends are bit-identical by
+	// contract, so like Workers and DeltaExec this only changes wall-clock
+	// time. Unknown names are rejected by New.
+	Backend string
 	// Scenario optionally locates the campaign's faults on the DNN-Engine
 	// PE array (stuck PE, SEU burst, voltage-stressed region) instead of
 	// drawing them i.i.d. over the op census. Requires ResultFlip semantics
@@ -301,6 +308,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.InputSize < 0 {
 		return nil, fmt.Errorf("winofault: InputSize %d is negative (0 means the default, %d)", cfg.InputSize, 32)
 	}
+	if _, err := kernel.Get(cfg.Backend); err != nil {
+		return nil, fmt.Errorf("winofault: %w", err)
+	}
 	cfg.normalize()
 	scale := models.Options{WidthMult: cfg.WidthMult, InputSize: cfg.InputSize}
 	arch, err := models.ByName(cfg.Model, scale)
@@ -333,6 +343,7 @@ func New(cfg Config) (*System, error) {
 			NeuronIntensity: models.NeuronIntensityFor(arch, full),
 			Workers:         cfg.Workers,
 			DeltaExec:       cfg.DeltaExec,
+			Backend:         cfg.Backend,
 		},
 	}
 	sys.sched = hwfault.NetworkSchedules(systolic.DNNEngine16, arch, cfg.kind(), cfg.tile(), cfg.Samples)
