@@ -24,8 +24,8 @@ import (
 // Config), so a request that spells a default explicitly is the same
 // campaign — and hits the same cache entry — as one that omits it.
 //
-// Everything except Workers, DeltaExec and Backend contributes to the
-// result; those three are scheduling/performance hints (results are
+// Everything except Workers, DeltaExec, Backend and Priority contributes to
+// the result; those four are scheduling/performance hints (results are
 // bit-identical for any worker count, with delta execution on or off, and
 // under every compute backend) and are therefore excluded from the service's
 // cache key.
@@ -78,6 +78,12 @@ type CampaignRequest struct {
 	// it is excluded from the cache key; unknown names are rejected at
 	// submission time.
 	Backend string `json:"backend,omitempty"`
+	// Priority orders this campaign within the submitting tenant's queue
+	// (0 = lowest and default, 9 = highest; out-of-range values clamp).
+	// Priorities never cross tenant boundaries — fair-share weights decide
+	// between tenants — and like Workers this is a scheduling hint excluded
+	// from the cache key.
+	Priority int `json:"priority,omitempty"`
 }
 
 // SystemConfig translates the wire request into the facade Config, rejecting
@@ -174,6 +180,9 @@ type CampaignStatus struct {
 type Client struct {
 	base *url.URL
 	hc   *http.Client
+	// apiKey, when non-empty, authenticates every request against a
+	// multi-tenant server (sent as an Authorization bearer token).
+	apiKey string
 	// retryAttempts bounds tries for idempotent GETs (default 4).
 	retryAttempts int
 	// retryBase is the first backoff delay; it doubles per attempt
@@ -181,9 +190,18 @@ type Client struct {
 	retryBase time.Duration
 }
 
+// DialOption configures a Client before Dial's health check runs.
+type DialOption func(*Client)
+
+// WithAPIKey authenticates the client as a tenant of a server running with
+// a key table (wfserve -keys). Open servers ignore the header.
+func WithAPIKey(key string) DialOption {
+	return func(c *Client) { c.apiKey = key }
+}
+
 // Dial validates the server URL and checks the server is reachable via its
 // health endpoint. An empty scheme defaults to http.
-func Dial(rawURL string) (*Client, error) {
+func Dial(rawURL string, opts ...DialOption) (*Client, error) {
 	if !strings.Contains(rawURL, "://") {
 		rawURL = "http://" + rawURL
 	}
@@ -192,12 +210,16 @@ func Dial(rawURL string) (*Client, error) {
 		return nil, fmt.Errorf("winofault: dial %q: %w", rawURL, err)
 	}
 	c := &Client{base: u, hc: &http.Client{}, retryAttempts: 4, retryBase: 100 * time.Millisecond}
+	for _, opt := range opts {
+		opt(c)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint("/healthz"), nil)
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("winofault: dial %s: %w", u, err)
@@ -208,6 +230,13 @@ func Dial(rawURL string) (*Client, error) {
 		return nil, fmt.Errorf("winofault: dial %s: health check returned %s", u, resp.Status)
 	}
 	return c, nil
+}
+
+// authorize attaches the client's API key, if any.
+func (c *Client) authorize(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 }
 
 // endpoint joins a "/path?query" suffix onto the base URL.
@@ -245,6 +274,7 @@ func (c *Client) post(ctx context.Context, path string, req CampaignRequest) (*C
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.authorize(hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -273,6 +303,7 @@ func (c *Client) getRetry(ctx context.Context, pathAndQuery string) (*http.Respo
 		if err != nil {
 			return nil, err
 		}
+		c.authorize(hreq)
 		resp, err := c.hc.Do(hreq)
 		if err != nil {
 			if ctx.Err() != nil {

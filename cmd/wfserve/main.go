@@ -48,7 +48,28 @@ func main() {
 	distFlag := flag.Bool("dist", false, "coordinate a wfworker fleet: shard cache-miss campaigns across registered workers")
 	lease := flag.Duration("lease", 15*time.Second, "with -dist: worker lease TTL (silent workers lose their shards after this)")
 	shardUnits := flag.Int("shard-units", 0, "with -dist: units per shard (0 = auto, ~2 shards per live worker)")
+	journal := flag.String("journal", "", "with -dist: control-plane journal file; a restarted server resumes in-flight campaigns from it")
+	keys := flag.String("keys", "", "API key table file: \"<api-key> <tenant> [weight=N] [quota=N]\" per line (empty + WFSERVE_KEYS env unset = open server)")
 	flag.Parse()
+
+	// Tenancy: -keys names a table file; the WFSERVE_KEYS environment
+	// variable may carry the same content inline (container secrets).
+	var tenants *service.TenantTable
+	if *keys != "" {
+		t, err := service.LoadTenantTable(*keys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
+			os.Exit(1)
+		}
+		tenants = t
+	} else if env := os.Getenv("WFSERVE_KEYS"); env != "" {
+		t, err := service.ParseTenantTable(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfserve: WFSERVE_KEYS: %v\n", err)
+			os.Exit(1)
+		}
+		tenants = t
+	}
 
 	cfg := service.Config{
 		Jobs:         *jobs,
@@ -56,19 +77,57 @@ func main() {
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		Tenants:      tenants,
 	}
 	var coord *dist.Coordinator
 	if *distFlag {
-		coord = dist.NewCoordinator(dist.CoordinatorConfig{
-			LeaseTTL:   *lease,
-			ShardUnits: *shardUnits,
-		})
+		ccfg := dist.CoordinatorConfig{
+			LeaseTTL:    *lease,
+			ShardUnits:  *shardUnits,
+			JournalPath: *journal,
+		}
+		if tenants != nil {
+			ccfg.Auth = tenants.Valid
+		}
+		var err error
+		coord, err = dist.NewCoordinator(ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
+			os.Exit(1)
+		}
 		cfg.Distributor = coord
 	}
 	svc, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Crash recovery: resubmit every campaign the journal says a previous
+	// incarnation left unfinished. The content-addressed cache answers any
+	// that actually completed (crash after caching); the rest re-enter the
+	// queue as the trusted default tenant and resume from their journaled
+	// shard merges once workers re-register.
+	if coord != nil {
+		for _, rc := range coord.Recovered() {
+			j, err := svc.Submit(rc.Req)
+			if err != nil {
+				// Unrunnable requests (validation) must not crash-loop the
+				// journal; queue pressure just means recovery is best-effort
+				// this boot — the journal entry survives for the next one.
+				log.Printf("wfserve: recovery: campaign %.12s not resubmitted: %v", rc.Key, err)
+				if !errors.Is(err, service.ErrQueueFull) && !errors.Is(err, service.ErrClosed) {
+					coord.CampaignDone(rc.Key)
+				}
+				continue
+			}
+			if st := j.Status(); st.Cached {
+				log.Printf("wfserve: recovery: campaign %.12s already cached; retiring journal entry", rc.Key)
+				coord.CampaignDone(rc.Key)
+				continue
+			}
+			log.Printf("wfserve: resuming journaled campaign %.12s", rc.Key)
+		}
 	}
 
 	handler := http.Handler(svc.Handler())
@@ -82,8 +141,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t)",
-		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag)
+	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t journal=%q tenants=%d)",
+		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag, *journal, tenants.Len())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

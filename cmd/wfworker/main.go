@@ -30,6 +30,7 @@ func main() {
 	server := flag.String("server", "localhost:8077", "wfserve coordinator address")
 	name := flag.String("name", defaultName(), "worker name reported in logs and /metrics")
 	workers := flag.Int("workers", 0, "faultsim parallelism per shard (0 = GOMAXPROCS; never changes results)")
+	apiKey := flag.String("api-key", os.Getenv("WF_API_KEY"), "API key for a coordinator running with -keys (default $WF_API_KEY)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -38,6 +39,7 @@ func main() {
 		Server:  *server,
 		Name:    *name,
 		Workers: *workers,
+		APIKey:  *apiKey,
 	}); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "wfworker: %v\n", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -30,6 +31,19 @@ type CoordinatorConfig struct {
 	// error) before the whole run fails (default 3). Lease expiries do not
 	// count: a dead worker is the fleet's fault, not the shard's.
 	MaxAttempts int
+	// JournalPath, when non-empty, makes the control plane durable: the
+	// campaign registry and every merged shard are appended to this file, and
+	// a restarted coordinator resumes unfinished campaigns from it (see
+	// journal.go). Empty means in-memory only — a crash fails in-flight
+	// campaigns exactly as before.
+	JournalPath string
+	// JournalBudget is the record count past which the journal is compacted
+	// to a snapshot of live state (default 4096).
+	JournalBudget int
+	// Auth, when set, gates every worker-facing endpoint: a request whose
+	// API key it rejects gets a 401 instead of joining the fleet. nil leaves
+	// the fleet API open (single-lab mode).
+	Auth func(apiKey string) bool
 	// Logf receives coordinator events (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -40,12 +54,23 @@ type CoordinatorConfig struct {
 // local ones. It implements service.Distributor.
 type Coordinator struct {
 	cfg CoordinatorConfig
+	// epoch namespaces shard IDs across restarts: a worker that computed a
+	// shard while the coordinator was down must never have its stale result
+	// merged into a same-numbered shard of the new incarnation.
+	epoch string
+	// jrnl is nil without a JournalPath; all appends happen under mu.
+	jrnl *journal
 
 	mu       sync.Mutex
 	draining bool
 	workers  map[string]*workerState
 	pending  []*shard          // dispatchable shards, FIFO
 	leased   map[string]*shard // task ID -> leased shard
+	// registry tracks journaled campaigns between Run and CampaignDone: the
+	// request (for recovery resubmission) and the merged unit ranges per
+	// phase (for resume pre-fill and compaction snapshots). Maintained even
+	// without a journal so the code has one shape.
+	registry map[string]*campaignState
 	nextID   uint64
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -80,8 +105,9 @@ type campaignRun struct {
 }
 
 // NewCoordinator builds a coordinator and starts its lease janitor; stop it
-// with Close.
-func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+// with Close. With a JournalPath it replays the journal first, so Recovered
+// reports the campaigns a previous incarnation left unfinished.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 15 * time.Second
 	}
@@ -91,22 +117,89 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.MaxAttempts < 1 {
 		cfg.MaxAttempts = 3
 	}
+	if cfg.JournalBudget < 1 {
+		cfg.JournalBudget = 4096
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		workers: map[string]*workerState{},
-		leased:  map[string]*shard{},
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		epoch:    strconv.FormatInt(time.Now().UnixNano(), 36),
+		workers:  map[string]*workerState{},
+		leased:   map[string]*shard{},
+		registry: map[string]*campaignState{},
+		stop:     make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		jrnl, registry, err := openJournal(cfg.JournalPath, cfg.JournalBudget, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		c.jrnl = jrnl
+		c.registry = registry
+		if len(registry) > 0 {
+			cfg.Logf("dist: journal %s: %d unfinished campaigns recovered", cfg.JournalPath, len(registry))
+		}
 	}
 	go c.janitor()
-	return c
+	return c, nil
 }
 
-// Close stops the lease janitor. In-flight Run calls are not interrupted
-// (their contexts are); Close exists so tests and shutdown leak nothing.
-func (c *Coordinator) Close() { c.stopOnce.Do(func() { close(c.stop) }) }
+// Close stops the lease janitor and releases the journal handle. In-flight
+// Run calls are not interrupted (their contexts are); Close exists so tests
+// and shutdown leak nothing.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.jrnl.close()
+	})
+}
+
+// Recovered is one journaled campaign a previous coordinator incarnation
+// left unfinished, to be resubmitted by the server at startup.
+type Recovered struct {
+	Key string
+	Req winofault.CampaignRequest
+}
+
+// Recovered lists the campaigns replayed from the journal, in key order.
+// The server resubmits each one; the coordinator then resumes its phases
+// from the journaled shard merges instead of starting over.
+func (c *Coordinator) Recovered() []Recovered {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Recovered, 0, len(c.registry))
+	for key, cs := range c.registry {
+		out = append(out, Recovered{Key: key, Req: cs.req})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CampaignDone retires a campaign from the registry and journal: its result
+// reached the content-addressed cache, or it ended in a client-visible
+// failure or cancellation. The service calls this for successes only after
+// the cache write, so a crash between finishing and caching still resumes —
+// recovery then re-runs nothing the cache already holds.
+func (c *Coordinator) CampaignDone(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.registry[key]; !ok {
+		return
+	}
+	delete(c.registry, key)
+	c.jrnl.append(journalRecord{T: recDone, Key: key})
+	c.compactIfNeededLocked()
+}
+
+// compactIfNeededLocked snapshots the journal once it grows past the record
+// budget. Called with c.mu held, so the registry is consistent.
+func (c *Coordinator) compactIfNeededLocked() {
+	if c.jrnl.overBudget() {
+		c.jrnl.compact(c.registry)
+	}
+}
 
 // BeginDrain stops accepting new worker registrations. Existing workers
 // keep leasing and reporting so in-flight campaigns finish inside the drain
@@ -157,6 +250,15 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 // result of the same index-ordered integer reduction.
 func (c *Coordinator) Run(ctx context.Context, key string, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
 	c.mu.Lock()
+	// Durability begins here: register the campaign before any execution
+	// decision, so even a run that immediately falls back to local (no live
+	// workers) survives a crash and is resumed at the next startup.
+	if _, ok := c.registry[key]; !ok {
+		reqCopy := req
+		c.registry[key] = &campaignState{req: reqCopy, phases: map[int][]shardRange{}}
+		c.jrnl.append(journalRecord{T: recCampaign, Key: key, Req: &reqCopy})
+		c.compactIfNeededLocked()
+	}
 	live := c.liveWorkersLocked(time.Now())
 	c.mu.Unlock()
 	if live == 0 {
@@ -224,25 +326,60 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 		c.mu.Unlock()
 		return nil, service.ErrNoWorkers
 	}
+	// Resume: pre-fill unit ranges a previous incarnation already merged and
+	// journaled. Counts are deterministic, so a pre-filled range holds
+	// exactly the integers a re-execution would produce — recovery changes
+	// wall-clock time, never bytes. Only the uncovered gaps are sharded.
+	covered := make([]bool, total)
+	prefilled := 0
+	if cs := c.registry[key]; cs != nil {
+		kept := cs.phases[phase][:0]
+		for _, r := range cs.phases[phase] {
+			if r.lo < 0 || r.hi > total || len(r.counts) != r.hi-r.lo {
+				c.cfg.Logf("dist: campaign %.12s phase %d: dropping journaled range [%d,%d) (outside %d units)",
+					key, phase, r.lo, r.hi, total)
+				continue
+			}
+			kept = append(kept, r)
+			for i := r.lo; i < r.hi; i++ {
+				if !covered[i] {
+					covered[i] = true
+					run.counts[i] = r.counts[i-r.lo]
+					prefilled++
+				}
+			}
+		}
+		cs.phases[phase] = kept
+	}
+	run.doneUnits = prefilled
+	if prefilled == total {
+		c.mu.Unlock()
+		c.cfg.Logf("dist: campaign %.12s phase %d: all %d units recovered from journal", key, phase, total)
+		return run.counts, nil
+	}
 	size := c.cfg.ShardUnits
 	if size <= 0 {
 		// About two shards per live worker: re-leases stay cheap and a slow
 		// node can't serialize the tail.
-		size = (total + 2*live - 1) / (2 * live)
+		size = (total - prefilled + 2*live - 1) / (2 * live)
 	}
 	if size < 1 {
 		size = 1
 	}
-	var ids []string
-	for lo := 0; lo < total; lo += size {
-		hi := lo + size
-		if hi > total {
-			hi = total
+	shards := 0
+	for lo := 0; lo < total; {
+		if covered[lo] {
+			lo++
+			continue
+		}
+		hi := lo
+		for hi < total && !covered[hi] && hi-lo < size {
+			hi++
 		}
 		c.nextID++
 		sh := &shard{
 			task: ShardTask{
-				ID:    fmt.Sprintf("%.12s.%d.%d", key, phase, c.nextID),
+				ID:    fmt.Sprintf("%.12s.%d.%s.%d", key, phase, c.epoch, c.nextID),
 				Key:   key,
 				Req:   req,
 				Phase: phase,
@@ -253,11 +390,17 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 		}
 		run.remaining++
 		c.pending = append(c.pending, sh)
-		ids = append(ids, sh.task.ID)
+		shards++
+		lo = hi
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("dist: campaign %.12s phase %d: %d units in %d shards across %d live workers",
-		key, phase, total, len(ids), live)
+	if prefilled > 0 {
+		c.cfg.Logf("dist: campaign %.12s phase %d: resuming — %d/%d units recovered from journal, %d remaining in %d shards",
+			key, phase, prefilled, total, total-prefilled, shards)
+	} else {
+		c.cfg.Logf("dist: campaign %.12s phase %d: %d units in %d shards across %d live workers",
+			key, phase, total, shards, live)
+	}
 
 	select {
 	case <-run.done:
@@ -410,6 +553,16 @@ func (c *Coordinator) result(workerID string, res ShardResult) {
 	}
 
 	copy(run.counts[sh.task.Lo:sh.task.Hi], res.Counts)
+	// Journal the merged range so a restarted coordinator pre-fills it
+	// instead of re-running it. The counts are copied: res.Counts aliases a
+	// decode buffer owned by the handler.
+	if cs := c.registry[sh.task.Key]; cs != nil {
+		merged := make([]int, len(res.Counts))
+		copy(merged, res.Counts)
+		cs.phases[sh.task.Phase] = append(cs.phases[sh.task.Phase], shardRange{lo: sh.task.Lo, hi: sh.task.Hi, counts: merged})
+		c.jrnl.append(journalRecord{T: recShard, Key: sh.task.Key, Phase: sh.task.Phase, Lo: sh.task.Lo, Hi: sh.task.Hi, Counts: merged})
+		c.compactIfNeededLocked()
+	}
 	if w != nil {
 		w.shards++
 	}

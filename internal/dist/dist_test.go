@@ -59,7 +59,10 @@ func fleet(t *testing.T, cfg CoordinatorConfig, n int) (*Coordinator, string) {
 	if cfg.Logf == nil {
 		cfg.Logf = quiet()
 	}
-	c := NewCoordinator(cfg)
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
 	ts := httptest.NewServer(c.Handler())
 	ctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
@@ -421,7 +424,10 @@ func TestWorkerRefusesKeyMismatch(t *testing.T) {
 // TestDrainRefusesRegistration: a draining coordinator turns away new
 // fleet; existing workers keep leasing so in-flight campaigns finish.
 func TestDrainRefusesRegistration(t *testing.T) {
-	c := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Second, Logf: quiet()})
+	c, err := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Second, Logf: quiet()})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
 	defer c.Close()
 	ts := httptest.NewServer(c.Handler())
 	defer ts.Close()

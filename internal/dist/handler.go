@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 )
 
 // Errors surfaced to workers as HTTP statuses.
@@ -16,6 +17,9 @@ var (
 	// errDraining (503) tells a joining worker this coordinator is
 	// terminating and will not accrete fleet.
 	errDraining = errors.New("dist: coordinator is draining")
+	// errUnauthorized (401) rejects a worker whose API key the configured
+	// Auth hook refuses (or that sent none when one is required).
+	errUnauthorized = errors.New("dist: invalid or missing API key")
 )
 
 // Handler exposes the worker-facing fleet API, mounted by wfserve next to
@@ -37,7 +41,30 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /workers/{id}/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /workers/{id}/lease", c.handleLease)
 	mux.HandleFunc("POST /workers/{id}/result", c.handleResult)
-	return mux
+	if c.cfg.Auth == nil {
+		return mux
+	}
+	// With an Auth hook, every fleet endpoint requires a valid key. Workers
+	// are full campaign executors, so an open fleet port would bypass the
+	// tenant API entirely.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !c.cfg.Auth(requestAPIKey(r)) {
+			distError(w, http.StatusUnauthorized, errUnauthorized)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// requestAPIKey extracts the caller's API key: "Authorization: Bearer <key>"
+// or the "X-API-Key" header.
+func requestAPIKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
 }
 
 func distError(w http.ResponseWriter, code int, err error) {

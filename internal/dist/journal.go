@@ -1,0 +1,290 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	winofault "repro"
+)
+
+// The control-plane journal makes the coordinator restartable: every
+// campaign handed to Run, every merged shard's unit range and counts, and
+// every terminal outcome is appended as one JSON record per line. A
+// restarted coordinator replays the journal into its campaign registry and
+// resumes each unfinished campaign exactly where the last complete record
+// left it — already-merged unit ranges are pre-filled, only the gaps are
+// re-sharded, and the workers' ordinary re-register/re-lease protocol covers
+// the rest. Determinism (counts are a pure function of the request) is what
+// makes this sound: a pre-filled range and a recomputed one hold identical
+// integers, so recovery can never change result bytes, only wall-clock time.
+//
+// Durability model: records are written straight to the file descriptor (no
+// user-space buffering), so they survive a killed process unconditionally;
+// only a whole-machine crash can lose the tail of the file, and replay
+// tolerates exactly that by discarding a trailing partial record. The
+// journal is single-owner — one coordinator process per journal file.
+
+// Journal record types.
+const (
+	// recCampaign registers a campaign: Key plus the full request needed to
+	// resubmit it after a restart.
+	recCampaign = "campaign"
+	// recShard records one merged shard: the unit range [Lo, Hi) of Phase
+	// and its per-unit agreement counts.
+	recShard = "shard"
+	// recDone retires a campaign: its result reached the content-addressed
+	// cache (or it failed/was canceled in a client-visible way), so recovery
+	// must not resurrect it.
+	recDone = "done"
+)
+
+// journalRecord is one line of the journal.
+type journalRecord struct {
+	T      string                     `json:"t"`
+	Key    string                     `json:"key"`
+	Req    *winofault.CampaignRequest `json:"req,omitempty"`
+	Phase  int                        `json:"phase,omitempty"`
+	Lo     int                        `json:"lo,omitempty"`
+	Hi     int                        `json:"hi,omitempty"`
+	Counts []int                      `json:"counts,omitempty"`
+}
+
+// shardRange is one journaled merged range of a phase's unit space.
+type shardRange struct {
+	lo, hi int
+	counts []int
+}
+
+// campaignState is the registry entry for one journaled campaign: the
+// request to resubmit on recovery, and the merged ranges per phase.
+type campaignState struct {
+	req    winofault.CampaignRequest
+	phases map[int][]shardRange
+}
+
+// journal is the append-only writer. All methods are called with the
+// coordinator mutex held (appends happen inside merge/registry updates), so
+// its own mutex only guards against misuse, not hot contention.
+type journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records int // complete records currently in the file
+	budget  int // compaction threshold (records)
+	logf    func(format string, args ...any)
+}
+
+// openJournal opens (or creates) the journal at path and replays it into a
+// campaign registry. A trailing partial record — the signature of a crash
+// mid-write — is discarded with a log line and truncated away so the next
+// append starts on a clean boundary; refusing to start would turn one lost
+// record into a lost coordinator.
+func openJournal(path string, budget int, logf func(string, ...any)) (*journal, map[string]*campaignState, error) {
+	j := &journal{path: path, budget: budget, logf: logf}
+	registry := map[string]*campaignState{}
+
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("dist: read journal %s: %w", path, err)
+	}
+	// Replay the longest prefix of complete, parseable, newline-terminated
+	// records. A record missing its terminator or failing to parse marks a
+	// torn write; crash-mid-write only ever corrupts the tail, so everything
+	// from the first bad record on is discarded.
+	good := 0
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			break // unterminated final record: torn
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(data[good:good+nl], &rec); err != nil || rec.T == "" || rec.Key == "" {
+			break
+		}
+		good += nl + 1
+		j.records++
+		replayRecord(registry, rec, logf)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: open journal %s: %w", path, err)
+	}
+	if good < len(data) {
+		logf("dist: journal %s: discarding %d bytes of torn trailing record (crash mid-write); resuming from the last complete record", path, len(data)-good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("dist: truncate torn journal %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist: seek journal %s: %w", path, err)
+	}
+	j.f = f
+	return j, registry, nil
+}
+
+// replayRecord applies one journal record to the registry being rebuilt.
+func replayRecord(registry map[string]*campaignState, rec journalRecord, logf func(string, ...any)) {
+	switch rec.T {
+	case recCampaign:
+		if rec.Req == nil {
+			logf("dist: journal: campaign record %.12s has no request; dropping", rec.Key)
+			return
+		}
+		if _, ok := registry[rec.Key]; !ok {
+			registry[rec.Key] = &campaignState{req: *rec.Req, phases: map[int][]shardRange{}}
+		}
+	case recShard:
+		cs, ok := registry[rec.Key]
+		if !ok || rec.Hi <= rec.Lo || len(rec.Counts) != rec.Hi-rec.Lo {
+			logf("dist: journal: dropping malformed shard record for %.12s (phase %d, [%d,%d), %d counts)",
+				rec.Key, rec.Phase, rec.Lo, rec.Hi, len(rec.Counts))
+			return
+		}
+		cs.phases[rec.Phase] = append(cs.phases[rec.Phase], shardRange{lo: rec.Lo, hi: rec.Hi, counts: rec.Counts})
+	case recDone:
+		delete(registry, rec.Key)
+	default:
+		logf("dist: journal: ignoring unknown record type %q", rec.T)
+	}
+}
+
+// append writes one record. Journal failures degrade durability, never
+// availability: the error is logged and the coordinator keeps serving.
+func (j *journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		j.logf("dist: journal: marshal %s record: %v", rec.T, err)
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		j.logf("dist: journal: append %s record: %v", rec.T, err)
+		return
+	}
+	j.records++
+}
+
+// overBudget reports whether the file has accreted enough records to be
+// worth compacting.
+func (j *journal) overBudget() bool {
+	if j == nil || j.budget <= 0 {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records > j.budget
+}
+
+// compact atomically rewrites the journal as a snapshot of the live
+// registry: one campaign record plus its merged ranges per unfinished
+// campaign. Retired campaigns and superseded shard records vanish, bounding
+// the file by live state instead of history.
+func (j *journal) compact(registry map[string]*campaignState) {
+	if j == nil {
+		return
+	}
+	recs := snapshotRecords(registry)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.logf("dist: journal: compaction open %s: %v", tmp, err)
+		return
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			j.logf("dist: journal: compaction marshal: %v", err)
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+		w.Write(data)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		j.logf("dist: journal: compaction write %s: %v", tmp, err)
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		j.logf("dist: journal: compaction close %s: %v", tmp, err)
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		j.logf("dist: journal: compaction rename: %v", err)
+		os.Remove(tmp)
+		return
+	}
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The snapshot is in place but unappendable; keep the old handle
+		// (now pointing at the unlinked file) so appends still go somewhere
+		// recoverable-by-log rather than panicking.
+		j.logf("dist: journal: reopen after compaction: %v", err)
+		return
+	}
+	j.f.Close()
+	j.f = nf
+	j.records = len(recs)
+	j.logf("dist: journal: compacted to %d records (%d live campaigns)", len(recs), len(registry))
+}
+
+// snapshotRecords renders the registry as a minimal record sequence, in
+// deterministic key order.
+func snapshotRecords(registry map[string]*campaignState) []journalRecord {
+	keys := make([]string, 0, len(registry))
+	for k := range registry {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var recs []journalRecord
+	for _, k := range keys {
+		cs := registry[k]
+		req := cs.req
+		recs = append(recs, journalRecord{T: recCampaign, Key: k, Req: &req})
+		phases := make([]int, 0, len(cs.phases))
+		for p := range cs.phases {
+			phases = append(phases, p)
+		}
+		sort.Ints(phases)
+		for _, p := range phases {
+			for _, r := range cs.phases[p] {
+				recs = append(recs, journalRecord{T: recShard, Key: k, Phase: p, Lo: r.lo, Hi: r.hi, Counts: r.counts})
+			}
+		}
+	}
+	return recs
+}
+
+// close releases the file handle (tests and wfserve shutdown).
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}

@@ -25,6 +25,9 @@ type WorkerConfig struct {
 	// Workers is the faultsim parallelism used per shard (0 = GOMAXPROCS).
 	// Like everywhere else it changes wall-clock time, never counts.
 	Workers int
+	// APIKey authenticates against a coordinator running with -keys. Empty
+	// is fine for an open (single-lab) coordinator.
+	APIKey string
 	// Logf receives worker events (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -126,6 +129,9 @@ func (w *fleetWorker) postJSON(ctx context.Context, path string, body, out any) 
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.APIKey)
+	}
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return 0, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	winofault "repro"
 )
@@ -75,6 +76,33 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP wfserve_draining Whether shutdown has begun (healthz reports 503).")
 	fmt.Fprintln(w, "# TYPE wfserve_draining gauge")
 	fmt.Fprintf(w, "wfserve_draining %d\n", boolGauge(s.Draining()))
+	if len(st.Tenants) > 0 {
+		fmt.Fprintln(w, "# HELP wfserve_tenant_queue_depth Campaigns waiting per tenant.")
+		fmt.Fprintln(w, "# TYPE wfserve_tenant_queue_depth gauge")
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(w, "wfserve_tenant_queue_depth{tenant=%q} %d\n", ts.Name, ts.QueueDepth)
+		}
+		fmt.Fprintln(w, "# HELP wfserve_tenant_jobs_running Campaigns executing per tenant.")
+		fmt.Fprintln(w, "# TYPE wfserve_tenant_jobs_running gauge")
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(w, "wfserve_tenant_jobs_running{tenant=%q} %d\n", ts.Name, ts.Running)
+		}
+		fmt.Fprintln(w, "# HELP wfserve_tenant_admitted_total Submissions that consumed queue capacity, per tenant.")
+		fmt.Fprintln(w, "# TYPE wfserve_tenant_admitted_total counter")
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(w, "wfserve_tenant_admitted_total{tenant=%q} %d\n", ts.Name, ts.Admitted)
+		}
+		fmt.Fprintln(w, "# HELP wfserve_tenant_rejected_total Submissions refused (queue full or over quota), per tenant.")
+		fmt.Fprintln(w, "# TYPE wfserve_tenant_rejected_total counter")
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(w, "wfserve_tenant_rejected_total{tenant=%q} %d\n", ts.Name, ts.Rejected)
+		}
+		fmt.Fprintln(w, "# HELP wfserve_tenant_served_units_total Campaign work units executed per tenant.")
+		fmt.Fprintln(w, "# TYPE wfserve_tenant_served_units_total counter")
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(w, "wfserve_tenant_served_units_total{tenant=%q} %d\n", ts.Name, ts.ServedUnits)
+		}
+	}
 	if st.Workers == nil {
 		return
 	}
@@ -92,6 +120,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, ws := range st.Workers {
 		fmt.Fprintf(w, "wfserve_worker_shards_total{worker=%q,id=%q} %d\n", ws.Name, ws.ID, ws.Shards)
 	}
+}
+
+// requestAPIKey extracts the caller's API key: "Authorization: Bearer <key>"
+// or the "X-API-Key" header. Empty when neither is present.
+func requestAPIKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if k, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return r.Header.Get("X-API-Key")
 }
 
 func boolGauge(b bool) int {
@@ -121,8 +160,17 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	j, err := s.Submit(req)
+	j, err := s.SubmitFor(req, requestAPIKey(r))
 	switch {
+	case errors.Is(err, ErrUnauthorized):
+		httpError(w, http.StatusUnauthorized, err)
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		// The tenant's own campaigns must finish before capacity frees up;
+		// hint a longer retry than the global queue-full backpressure.
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err)

@@ -19,28 +19,37 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// tenant and priority place the job in the fair-share scheduler; both
+	// are fixed at submission. Coalesced waiters share the first submitter's
+	// placement — the job is the content address, not the caller.
+	tenant   string
+	priority int
+
 	mu     sync.Mutex
 	state  string // StateQueued -> StateRunning -> StateDone/StateFailed
 	cached bool
 	batch  int // sequence number of the unit batch done/total describe
 	done   int
 	total  int
+	units  int // completed units of earlier batches (served-units accounting)
 	data   []byte
 	err    error
 	subs   map[chan winofault.CampaignStatus]struct{}
 	doneCh chan struct{}
 }
 
-func newJob(parent context.Context, key string, req winofault.CampaignRequest) *Job {
+func newJob(parent context.Context, key string, req winofault.CampaignRequest, tenant string, priority int) *Job {
 	ctx, cancel := context.WithCancel(parent)
 	return &Job{
-		Key:    key,
-		req:    req,
-		ctx:    ctx,
-		cancel: cancel,
-		state:  winofault.StateQueued,
-		subs:   map[chan winofault.CampaignStatus]struct{}{},
-		doneCh: make(chan struct{}),
+		Key:      key,
+		req:      req,
+		ctx:      ctx,
+		cancel:   cancel,
+		tenant:   tenant,
+		priority: priority,
+		state:    winofault.StateQueued,
+		subs:     map[chan winofault.CampaignStatus]struct{}{},
+		doneCh:   make(chan struct{}),
 	}
 }
 
@@ -166,9 +175,22 @@ func (j *Job) progress(batch, done, total int) {
 		j.mu.Unlock()
 		return
 	}
+	if batch > j.batch {
+		// A new batch begins: bank the previous batch's completed units for
+		// served-units accounting.
+		j.units += j.done
+	}
 	j.batch, j.done, j.total = batch, done, total
 	j.broadcastLocked(j.statusLocked())
 	j.mu.Unlock()
+}
+
+// servedUnits totals the campaign work units this job executed across all
+// its batches — the tenant accounting currency.
+func (j *Job) servedUnits() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return int64(j.units + j.done)
 }
 
 // finish resolves the job exactly once; err nil means success with data as

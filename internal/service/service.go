@@ -33,6 +33,11 @@ type Config struct {
 	// Logf receives service events (default log.Printf; set to a no-op in
 	// tests).
 	Logf func(format string, args ...any)
+	// Tenants, when set, turns on multi-tenancy: SubmitFor resolves API keys
+	// against it (unknown keys get ErrUnauthorized) and the fair-share
+	// scheduler apportions execution slots by tenant weight. nil leaves the
+	// API open — every submission runs as the built-in default tenant.
+	Tenants *TenantTable
 	// Distributor, when set, executes cache-miss campaigns across a remote
 	// worker fleet (see internal/dist). Distribution is an optimization,
 	// never a requirement: any distributed failure other than the campaign's
@@ -69,14 +74,33 @@ type WorkerStat struct {
 	Shards int64
 }
 
+// DurableDistributor is optionally implemented by a Distributor with a
+// durable campaign registry (internal/dist with a journal). The service
+// notifies it when a campaign reaches a terminal, client-visible state —
+// for successes only after the result is in the content-addressed cache, so
+// a crash between finishing and caching still resumes the campaign.
+type DurableDistributor interface {
+	CampaignDone(key string)
+}
+
 // Sentinel errors surfaced by Submit and Distributor.Run.
 var (
 	ErrQueueFull = errors.New("service: job queue is full")
 	ErrClosed    = errors.New("service: shutting down")
+	// ErrQuotaExceeded reports that the submitting tenant is at its campaign
+	// quota (HTTP 429); other tenants are unaffected.
+	ErrQuotaExceeded = errors.New("service: tenant campaign quota exceeded")
+	// ErrUnauthorized reports an unknown or missing API key on a service
+	// running with a key table (HTTP 401).
+	ErrUnauthorized = errors.New("service: invalid or missing API key")
 	// ErrNoWorkers reports that a Distributor has no live workers; the
 	// service transparently falls back to local execution.
 	ErrNoWorkers = errors.New("service: no live workers registered")
 )
+
+// defaultTenant is the principal for open deployments and trusted in-process
+// submissions (recovery resubmits, tests): weight 1, no quota.
+var defaultTenant = &Tenant{Name: DefaultTenant, Weight: 1}
 
 // maxFinished bounds how many finished jobs stay addressable for status
 // polls; older ones age out (done results remain in the cache regardless).
@@ -104,8 +128,11 @@ type Service struct {
 	closed   bool
 	jobs     map[string]*Job // queued, running, and a bounded tail of finished
 	finished []string        // FIFO of finished keys for eviction
-	queue    chan *Job
-	wg       sync.WaitGroup
+	// sched is the fair-share dispatcher: per-tenant priority queues drained
+	// by deficit round robin, globally bounded by QueueDepth. Its mutex nests
+	// strictly inside s.mu.
+	sched *scheduler
+	wg    sync.WaitGroup
 
 	// run executes one campaign; tests substitute it to observe coalescing
 	// and cancellation without paying for real forward passes. The progress
@@ -143,7 +170,7 @@ func New(cfg Config) (*Service, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
-		queue:      make(chan *Job, cfg.QueueDepth),
+		sched:      newScheduler(cfg.QueueDepth),
 	}
 	s.run = s.runCampaign
 	s.local = s.runLocal
@@ -158,7 +185,31 @@ func New(cfg Config) (*Service, error) {
 // coalesced submissions come back instantly: a cached key returns an
 // already-done job, and a key currently queued or running returns that same
 // in-flight job. Only genuinely new work consumes queue capacity.
+//
+// Submit is the trusted in-process path (tests, recovery resubmissions): it
+// runs as the built-in default tenant with no quota. The HTTP layer goes
+// through SubmitFor instead.
 func (s *Service) Submit(req winofault.CampaignRequest) (*Job, error) {
+	return s.submit(req, defaultTenant)
+}
+
+// SubmitFor is Submit on behalf of an API key. Authentication comes first —
+// before even the cache probe, so an unauthenticated caller learns nothing
+// about what the cache holds. Without a key table every key (including none)
+// maps to the default tenant.
+func (s *Service) SubmitFor(req winofault.CampaignRequest, apiKey string) (*Job, error) {
+	t := defaultTenant
+	if s.cfg.Tenants != nil {
+		ten, ok := s.cfg.Tenants.Lookup(apiKey)
+		if !ok {
+			return nil, ErrUnauthorized
+		}
+		t = ten
+	}
+	return s.submit(req, t)
+}
+
+func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error) {
 	key, err := Key(req)
 	if err != nil {
 		return nil, err
@@ -188,15 +239,25 @@ func (s *Service) Submit(req winofault.CampaignRequest) (*Job, error) {
 	if data, ok := s.cache.getMemory(key); ok {
 		return cachedJob(key, data), nil
 	}
-	j := newJob(s.baseCtx, key, req)
-	select {
-	case s.queue <- j:
-	default:
+	j := newJob(s.baseCtx, key, req, t.Name, clampPriority(req.Priority))
+	if err := s.sched.enqueue(j, t); err != nil {
 		j.cancel() // release the job's context registration on baseCtx
-		return nil, ErrQueueFull
+		return nil, err
 	}
 	s.jobs[key] = j
 	return j, nil
+}
+
+// clampPriority folds a request's priority ask into the scheduler's range;
+// like Workers, it is a scheduling hint, never part of campaign identity.
+func clampPriority(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > MaxPriority {
+		return MaxPriority
+	}
+	return p
 }
 
 // validKey reports whether id has the shape of a campaign content address
@@ -269,7 +330,11 @@ func (s *Service) rememberFinishedLocked(j *Job) {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.sched.next()
+		if j == nil {
+			return // closed and drained
+		}
 		s.runJob(j)
 	}
 }
@@ -294,6 +359,13 @@ func (s *Service) runJob(j *Job) {
 			s.cfg.Logf("service: %v", perr)
 		}
 	}
+	// Every outcome below is terminal and client-visible (a success is now
+	// cached; failures and cancellations surface to waiters), so a durable
+	// coordinator may retire the campaign from its journal.
+	if d, ok := s.cfg.Distributor.(DurableDistributor); ok {
+		d.CampaignDone(j.Key)
+	}
+	s.sched.done(j, j.servedUnits())
 	s.mu.Lock()
 	if err != nil {
 		// The failed job stays addressable for status polls but is
@@ -426,12 +498,15 @@ type Stats struct {
 	CacheBytes   int64
 	// Workers is the distributed fleet (nil without a Distributor).
 	Workers []WorkerStat
+	// Tenants is the per-tenant fair-share view: every tenant that has ever
+	// submitted, with occupancy and admission counters.
+	Tenants []TenantStat
 }
 
 // Stats snapshots the service counters for the /metrics endpoint.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		QueueDepth:   len(s.queue),
+		QueueDepth:   s.sched.depthNow(),
 		Inflight:     s.inflight.Load(),
 		CacheHits:    s.cache.Hits(),
 		CacheMisses:  s.cache.Misses(),
@@ -441,6 +516,7 @@ func (s *Service) Stats() Stats {
 	if s.cfg.Distributor != nil {
 		st.Workers = s.cfg.Distributor.Workers()
 	}
+	st.Tenants = s.sched.stats()
 	return st
 }
 
@@ -457,7 +533,7 @@ func (s *Service) Close(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
+	s.sched.close()
 	s.mu.Unlock()
 
 	drained := make(chan struct{})

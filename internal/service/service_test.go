@@ -349,7 +349,7 @@ func TestRunnerPanicFailsJobNotProcess(t *testing.T) {
 // previous one must still publish its early reports — batch identity comes
 // from the explicit sequence number, not from a changed total.
 func TestProgressBatchSequencing(t *testing.T) {
-	j := newJob(context.Background(), "k", sweepReq(1))
+	j := newJob(context.Background(), "k", sweepReq(1), DefaultTenant, 0)
 	j.progress(0, 4, 4) // sweep batch finishes: 4/4
 	j.progress(1, 1, 4) // layer batch with the SAME total reports early progress
 	if st := j.Status(); st.Done != 1 || st.Total != 4 {
