@@ -103,11 +103,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	handler := http.Handler(svc.Handler())
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/workers", coord.Handler())
+		mux.Handle("/workers/", coord.Handler())
+		mux.Handle("/", svc.Handler())
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t journal=%q tenants=%d)",
+		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag, *journal, tenants.Len())
+
 	// Crash recovery: resubmit every campaign the journal says a previous
 	// incarnation left unfinished. The content-addressed cache answers any
 	// that actually completed (crash after caching); the rest re-enter the
 	// queue as the trusted default tenant and resume from their journaled
-	// shard merges once workers re-register.
+	// shard merges once workers re-register. This must run after the
+	// listener is up: the fleet can only re-register through it, and the
+	// coordinator holds each recovered campaign for a re-registration grace
+	// instead of falling back to a full local recompute on the empty worker
+	// table a freshly restarted process necessarily has.
 	if coord != nil {
 		for _, rc := range coord.Recovered() {
 			j, err := svc.Submit(rc.Req)
@@ -129,20 +147,6 @@ func main() {
 			log.Printf("wfserve: resuming journaled campaign %.12s", rc.Key)
 		}
 	}
-
-	handler := http.Handler(svc.Handler())
-	if coord != nil {
-		mux := http.NewServeMux()
-		mux.Handle("/workers", coord.Handler())
-		mux.Handle("/workers/", coord.Handler())
-		mux.Handle("/", svc.Handler())
-		handler = mux
-	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t journal=%q tenants=%d)",
-		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag, *journal, tenants.Len())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

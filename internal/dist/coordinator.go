@@ -40,6 +40,13 @@ type CoordinatorConfig struct {
 	// JournalBudget is the record count past which the journal is compacted
 	// to a snapshot of live state (default 4096).
 	JournalBudget int
+	// RecoveryGrace bounds how long a journal-recovered campaign's Run waits
+	// for workers to re-register after a coordinator restart before giving
+	// up with ErrNoWorkers (default: LeaseTTL). Recovery resubmission races
+	// the fleet's re-register/heartbeat cycle; without the grace an empty
+	// worker table at that instant would discard the journaled shard merges
+	// in favor of a full local recompute. Fresh campaigns never wait.
+	RecoveryGrace time.Duration
 	// Auth, when set, gates every worker-facing endpoint: a request whose
 	// API key it rejects gets a 401 instead of joining the fleet. nil leaves
 	// the fleet API open (single-lab mode).
@@ -120,6 +127,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.JournalBudget < 1 {
 		cfg.JournalBudget = 4096
 	}
+	if cfg.RecoveryGrace <= 0 {
+		cfg.RecoveryGrace = cfg.LeaseTTL
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -138,6 +148,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.jrnl = jrnl
 		c.registry = registry
+		for _, cs := range registry {
+			cs.recovered = true
+		}
 		if len(registry) > 0 {
 			cfg.Logf("dist: journal %s: %d unfinished campaigns recovered", cfg.JournalPath, len(registry))
 		}
@@ -193,11 +206,16 @@ func (c *Coordinator) CampaignDone(key string) {
 	c.compactIfNeededLocked()
 }
 
-// compactIfNeededLocked snapshots the journal once it grows past the record
-// budget. Called with c.mu held, so the registry is consistent.
+// compactIfNeededLocked kicks off a journal snapshot once the file grows past
+// the record budget. Called with c.mu held, so the snapshot captures a
+// registry consistent with the journal's record set; the rewrite+fsync itself
+// runs in a goroutine so lease/result/heartbeat traffic waiting on c.mu never
+// stalls behind journal I/O. The snapshot shares the registry's counts slices,
+// which is safe because merged ranges are never mutated after insertion.
 func (c *Coordinator) compactIfNeededLocked() {
-	if c.jrnl.overBudget() {
-		c.jrnl.compact(c.registry)
+	if c.jrnl.beginCompaction() {
+		recs := snapshotRecords(c.registry)
+		go c.jrnl.finishCompaction(recs)
 	}
 }
 
@@ -253,16 +271,26 @@ func (c *Coordinator) Run(ctx context.Context, key string, req winofault.Campaig
 	// Durability begins here: register the campaign before any execution
 	// decision, so even a run that immediately falls back to local (no live
 	// workers) survives a crash and is resumed at the next startup.
-	if _, ok := c.registry[key]; !ok {
+	cs, ok := c.registry[key]
+	if !ok {
 		reqCopy := req
-		c.registry[key] = &campaignState{req: reqCopy, phases: map[int][]shardRange{}}
+		cs = &campaignState{req: reqCopy, phases: map[int][]shardRange{}}
+		c.registry[key] = cs
 		c.jrnl.append(journalRecord{T: recCampaign, Key: key, Req: &reqCopy})
 		c.compactIfNeededLocked()
 	}
+	recovered := cs.recovered
 	live := c.liveWorkersLocked(time.Now())
 	c.mu.Unlock()
 	if live == 0 {
-		return nil, service.ErrNoWorkers
+		// A journal-recovered campaign is resubmitted right after a restart,
+		// when the previous fleet has heard nothing yet: give workers their
+		// re-register window instead of instantly wasting the journaled
+		// progress on a full local recompute. Fresh campaigns keep the
+		// immediate local fallback.
+		if !recovered || !c.awaitWorkers(ctx, key) {
+			return nil, service.ErrNoWorkers
+		}
 	}
 
 	// The coordinator builds the system too — for unit totals, the golden
@@ -305,6 +333,34 @@ func (c *Coordinator) Run(ctx context.Context, key string, req winofault.Campaig
 	return json.Marshal(res)
 }
 
+// awaitWorkers blocks until a live worker registers, the recovery grace
+// lapses, or ctx/Close interrupts, reporting whether the fleet came back.
+// Only journal-recovered campaigns wait (see CoordinatorConfig.RecoveryGrace).
+func (c *Coordinator) awaitWorkers(ctx context.Context, key string) bool {
+	c.cfg.Logf("dist: campaign %.12s: recovered from journal; waiting up to %s for workers to re-register", key, c.cfg.RecoveryGrace)
+	deadline := time.NewTimer(c.cfg.RecoveryGrace)
+	defer deadline.Stop()
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-c.stop:
+			return false
+		case <-deadline.C:
+			return false
+		case <-tick.C:
+			c.mu.Lock()
+			live := c.liveWorkersLocked(time.Now())
+			c.mu.Unlock()
+			if live > 0 {
+				return true
+			}
+		}
+	}
+}
+
 // runPhase shards one phase's unit index space [0, total) into contiguous
 // ranges, dispatches them, and blocks until every shard's counts are merged
 // (in index order, by construction of the counts slice) or the phase fails.
@@ -320,12 +376,6 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 	}
 
 	c.mu.Lock()
-	now := time.Now()
-	live := c.liveWorkersLocked(now)
-	if live == 0 {
-		c.mu.Unlock()
-		return nil, service.ErrNoWorkers
-	}
 	// Resume: pre-fill unit ranges a previous incarnation already merged and
 	// journaled. Counts are deterministic, so a pre-filled range holds
 	// exactly the integers a re-execution would produce — recovery changes
@@ -353,9 +403,17 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 	}
 	run.doneUnits = prefilled
 	if prefilled == total {
+		// The whole phase was merged before the crash: no fleet needed, the
+		// live-worker check below would only get in the way.
 		c.mu.Unlock()
 		c.cfg.Logf("dist: campaign %.12s phase %d: all %d units recovered from journal", key, phase, total)
 		return run.counts, nil
+	}
+	now := time.Now()
+	live := c.liveWorkersLocked(now)
+	if live == 0 {
+		c.mu.Unlock()
+		return nil, service.ErrNoWorkers
 	}
 	size := c.cfg.ShardUnits
 	if size <= 0 {

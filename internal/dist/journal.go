@@ -66,11 +66,17 @@ type shardRange struct {
 type campaignState struct {
 	req    winofault.CampaignRequest
 	phases map[int][]shardRange
+	// recovered marks entries replayed from a previous incarnation's journal:
+	// their Run waits the recovery grace for workers to re-register instead
+	// of falling back to local execution on an empty worker table.
+	recovered bool
 }
 
-// journal is the append-only writer. All methods are called with the
-// coordinator mutex held (appends happen inside merge/registry updates), so
-// its own mutex only guards against misuse, not hot contention.
+// journal is the append-only writer. Appends are called with the coordinator
+// mutex held (they happen inside merge/registry updates), so the journal's
+// own mutex is mostly uncontended — except during compaction, whose bulk
+// snapshot write deliberately runs WITHOUT either mutex so lease/result/
+// heartbeat traffic never stalls behind a multi-megabyte rewrite+fsync.
 type journal struct {
 	mu      sync.Mutex
 	path    string
@@ -78,6 +84,13 @@ type journal struct {
 	records int // complete records currently in the file
 	budget  int // compaction threshold (records)
 	logf    func(format string, args ...any)
+	// compacting marks an in-flight snapshot rewrite (finishCompaction in a
+	// goroutine). Meanwhile appends keep landing on the old file AND are
+	// buffered in pending, so the snapshot can absorb them before the rename
+	// — no record is lost whichever file survives.
+	compacting bool
+	pending    []byte
+	pendingN   int
 }
 
 // openJournal opens (or creates) the journal at path and replays it into a
@@ -169,35 +182,62 @@ func (j *journal) append(rec journalRecord) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(append(data, '\n')); err != nil {
+	if j.f == nil {
+		return
+	}
+	line := append(data, '\n')
+	if _, err := j.f.Write(line); err != nil {
 		j.logf("dist: journal: append %s record: %v", rec.T, err)
 		return
 	}
 	j.records++
+	if j.compacting {
+		// A snapshot rewrite is in flight: this record postdates its registry
+		// snapshot, so buffer it for finishCompaction to tack onto the new
+		// file before the rename. The write above still lands on the old file,
+		// so a crash during compaction loses nothing either way.
+		j.pending = append(j.pending, line...)
+		j.pendingN++
+	}
 }
 
-// overBudget reports whether the file has accreted enough records to be
-// worth compacting.
-func (j *journal) overBudget() bool {
+// beginCompaction claims the compaction slot if the file has accreted enough
+// records to be worth rewriting. The caller holds the coordinator mutex, so
+// the registry it is about to snapshot matches the file's record set exactly;
+// the expensive rewrite itself belongs in a goroutine via finishCompaction.
+func (j *journal) beginCompaction() bool {
 	if j == nil || j.budget <= 0 {
 		return false
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.records > j.budget
+	if j.f == nil || j.compacting || j.records <= j.budget {
+		return false
+	}
+	j.compacting = true
+	return true
 }
 
-// compact atomically rewrites the journal as a snapshot of the live
-// registry: one campaign record plus its merged ranges per unfinished
-// campaign. Retired campaigns and superseded shard records vanish, bounding
-// the file by live state instead of history.
-func (j *journal) compact(registry map[string]*campaignState) {
-	if j == nil {
-		return
-	}
-	recs := snapshotRecords(registry)
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// finishCompaction atomically rewrites the journal as the snapshot taken at
+// beginCompaction time: one campaign record plus its merged ranges per
+// unfinished campaign. Retired campaigns and superseded shard records vanish,
+// bounding the file by live state instead of history. The bulk write and
+// fsync run without any lock — lease/result/heartbeat traffic keeps flowing —
+// and records appended meanwhile are replayed from the pending buffer under
+// j.mu before the rename. Every failure path leaves the old file (which holds
+// all records) as the journal.
+func (j *journal) finishCompaction(recs []journalRecord) {
+	done := false
+	defer func() {
+		j.mu.Lock()
+		j.compacting = false
+		j.pending = nil
+		j.pendingN = 0
+		j.mu.Unlock()
+		if !done {
+			os.Remove(j.path + ".tmp")
+		}
+	}()
 	tmp := j.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -210,7 +250,6 @@ func (j *journal) compact(registry map[string]*campaignState) {
 		if err != nil {
 			j.logf("dist: journal: compaction marshal: %v", err)
 			f.Close()
-			os.Remove(tmp)
 			return
 		}
 		w.Write(data)
@@ -222,19 +261,38 @@ func (j *journal) compact(registry map[string]*campaignState) {
 	if err != nil {
 		j.logf("dist: journal: compaction write %s: %v", tmp, err)
 		f.Close()
-		os.Remove(tmp)
 		return
+	}
+
+	// Publication: from here on j.mu is held, so no new appends race the
+	// pending drain, and the swap of j.f/j.records is atomic to appenders.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil { // journal closed mid-compaction
+		f.Close()
+		return
+	}
+	if len(j.pending) > 0 {
+		if _, err := f.Write(j.pending); err != nil {
+			j.logf("dist: journal: compaction append pending: %v", err)
+			f.Close()
+			return
+		}
+		if err := f.Sync(); err != nil {
+			j.logf("dist: journal: compaction sync pending: %v", err)
+			f.Close()
+			return
+		}
 	}
 	if err := f.Close(); err != nil {
 		j.logf("dist: journal: compaction close %s: %v", tmp, err)
-		os.Remove(tmp)
 		return
 	}
 	if err := os.Rename(tmp, j.path); err != nil {
 		j.logf("dist: journal: compaction rename: %v", err)
-		os.Remove(tmp)
 		return
 	}
+	done = true
 	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		// The snapshot is in place but unappendable; keep the old handle
@@ -245,8 +303,8 @@ func (j *journal) compact(registry map[string]*campaignState) {
 	}
 	j.f.Close()
 	j.f = nf
-	j.records = len(recs)
-	j.logf("dist: journal: compacted to %d records (%d live campaigns)", len(recs), len(registry))
+	j.records = len(recs) + j.pendingN
+	j.logf("dist: journal: compacted to %d records", j.records)
 }
 
 // snapshotRecords renders the registry as a minimal record sequence, in

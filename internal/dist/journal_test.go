@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -137,7 +138,9 @@ func TestJournalTornTailRecovery(t *testing.T) {
 }
 
 // TestJournalCompaction: past the record budget the journal collapses to a
-// snapshot of live state — retired campaigns vanish, live merges survive.
+// snapshot of live state — retired campaigns vanish, live merges survive, and
+// records appended while the snapshot rewrite is in flight are absorbed into
+// the new file rather than lost with the old one.
 func TestJournalCompaction(t *testing.T) {
 	path := journalPath(t)
 	j, _, err := openJournal(path, 100, quiet())
@@ -157,15 +160,22 @@ func TestJournalCompaction(t *testing.T) {
 	registry["live"] = &campaignState{req: req, phases: map[int][]shardRange{
 		PhaseLayers: {{lo: 4, hi: 6, counts: []int{1, 2}}},
 	}}
-	if !j.overBudget() {
+	if !j.beginCompaction() {
 		t.Fatalf("journal with %d records not over budget 100", j.records)
 	}
-	j.compact(registry)
-	if j.records != 2 {
-		t.Fatalf("compacted to %d records, want 2 (campaign + shard)", j.records)
+	if j.beginCompaction() {
+		t.Fatal("second beginCompaction claimed the slot while one is in flight")
+	}
+	recs := snapshotRecords(registry)
+	// A record appended between snapshot and rename postdates the snapshot:
+	// it must ride the pending buffer into the new file.
+	j.append(journalRecord{T: recShard, Key: "live", Phase: PhaseLayers, Lo: 0, Hi: 1, Counts: []int{9}})
+	j.finishCompaction(recs)
+	if j.records != 3 {
+		t.Fatalf("compacted to %d records, want 3 (campaign + shard + mid-compaction shard)", j.records)
 	}
 	// Appends after compaction land on the reopened handle.
-	j.append(journalRecord{T: recShard, Key: "live", Phase: PhaseLayers, Lo: 0, Hi: 1, Counts: []int{9}})
+	j.append(journalRecord{T: recShard, Key: "live", Phase: PhaseLayers, Lo: 2, Hi: 3, Counts: []int{7}})
 	j.close()
 
 	_, reg, err := openJournal(path, 100, quiet())
@@ -175,8 +185,8 @@ func TestJournalCompaction(t *testing.T) {
 	if len(reg) != 1 || reg["live"] == nil {
 		t.Fatalf("compacted journal replayed %+v, want just campaign live", reg)
 	}
-	if got := len(reg["live"].phases[PhaseLayers]); got != 2 {
-		t.Fatalf("live campaign has %d layer ranges, want 2", got)
+	if got := len(reg["live"].phases[PhaseLayers]); got != 3 {
+		t.Fatalf("live campaign has %d layer ranges, want 3", got)
 	}
 }
 
@@ -290,6 +300,73 @@ func TestCoordinatorResumesFromJournal(t *testing.T) {
 	defer c3.Close()
 	if left := c3.Recovered(); len(left) != 0 {
 		t.Errorf("after CampaignDone, %d campaigns still recovered", len(left))
+	}
+}
+
+// TestRecoveredRunAwaitsReregistration: a restarted coordinator's worker
+// table is necessarily empty when recovery resubmits journaled campaigns, so
+// a recovered Run must wait out the re-registration grace instead of
+// instantly failing into a full local recompute — while a fresh campaign on
+// the same coordinator keeps the immediate ErrNoWorkers fallback.
+func TestRecoveredRunAwaitsReregistration(t *testing.T) {
+	req := tinyReq()
+	key, err := service.Key(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := journalPath(t)
+	noProgress := func(batch, done, total int) {}
+	cfg := CoordinatorConfig{
+		LeaseTTL: 5 * time.Second, Poll: 10 * time.Millisecond,
+		JournalPath: path, RecoveryGrace: 5 * time.Second, Logf: quiet(),
+	}
+
+	// Incarnation A journals the campaign, then "crashes" before running it.
+	// Fresh campaigns never wait: with no fleet this fails immediately.
+	c1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c1.Run(context.Background(), key, req, noProgress); !errors.Is(err, service.ErrNoWorkers) {
+		t.Fatalf("fresh run with no fleet returned %v, want ErrNoWorkers", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("fresh run waited %s for workers; only recovered campaigns should", waited)
+	}
+	c1.Close()
+
+	// Incarnation B recovers the campaign. Run starts on an empty worker
+	// table; a worker registers shortly after, inside the grace, and the run
+	// must ride it to completion with bytes identical to a local execution.
+	c2, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := c2.Recovered(); len(rec) != 1 || rec[0].Key != key {
+		t.Fatalf("recovered %+v, want campaign %.12s", rec, key)
+	}
+	ts := httptest.NewServer(c2.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(200 * time.Millisecond) // re-registration lag
+		RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: "late", Workers: 1, Logf: quiet()})
+	}()
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		ts.Close()
+		c2.Close()
+	})
+	got, err := c2.Run(context.Background(), key, req, noProgress)
+	if err != nil {
+		t.Fatalf("recovered run did not wait for the late worker: %v", err)
+	}
+	if want := localBytes(t, req); !bytes.Equal(got, want) {
+		t.Errorf("recovered bytes differ from local:\n%s\n%s", got, want)
 	}
 }
 

@@ -143,6 +143,39 @@ func TestFallbackProgressNotSuppressed(t *testing.T) {
 	}
 }
 
+// TestFallbackDoesNotDoubleCountServedUnits: a dist→local fallback restarts
+// the campaign's unit space and the rerun re-reports every unit, so the
+// abandoned distributed attempt's partial progress must be dropped from
+// served-units accounting, not banked on top of the rerun's full total.
+func TestFallbackDoesNotDoubleCountServedUnits(t *testing.T) {
+	d := &stubDistributor{
+		err: errors.New("fleet evaporated mid-sweep"),
+		report: func(progress func(int, int, int)) {
+			progress(0, 4, 10) // the fleet merged 4 of 10 sweep units, then died
+		},
+	}
+	s, err := New(quiet(Config{Jobs: 1, QueueDepth: 8, Distributor: d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.local = func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+		progress(0, 10, 10) // full sweep rerun
+		progress(1, 3, 3)   // layer phase
+		return []byte(`{}`), nil
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	j, err := s.Submit(sweepReq(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.servedUnits(); got != 13 {
+		t.Errorf("servedUnits = %d, want 13 (the rerun's 10+3 only, not the fleet's banked 4)", got)
+	}
+}
+
 // TestCanceledDistDoesNotFallBack: when the campaign itself was canceled,
 // falling back to local would resurrect canceled work.
 func TestCanceledDistDoesNotFallBack(t *testing.T) {

@@ -30,6 +30,15 @@ import (
 //	GET    /metrics               Prometheus text format: queue depth,
 //	                              in-flight jobs, cache hit/miss counters,
 //	                              per-worker shard counts
+//
+// On a multi-tenant server (Config.Tenants set) every /campaigns* route
+// demands a valid API key: submission resolves the key to the tenant that
+// pays for the campaign, and status/result/events/cancel are scoped to the
+// tenants that submitted the job (campaign IDs are deterministic request
+// hashes, so without that scope any tenant that guessed another's request
+// parameters could read its results or cancel its runs). Unknown keys get a
+// 401; a valid key probing another tenant's campaign gets the same 404 an
+// unknown campaign does, so existence never leaks across tenants.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -196,12 +205,26 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeStatus(w, http.StatusOK, j.StatusWithResult())
 }
 
+// lookup authenticates the caller (when a key table is configured) and
+// resolves the campaign, writing the error response itself on failure: 401
+// for a missing or unknown API key, 404 both for unknown campaigns and for
+// campaigns the caller's tenant never submitted.
 func (s *Service) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
-	j, ok := s.Job(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+	tenant := DefaultTenant
+	if s.cfg.Tenants != nil {
+		t, ok := s.cfg.Tenants.Lookup(requestAPIKey(r))
+		if !ok {
+			httpError(w, http.StatusUnauthorized, ErrUnauthorized)
+			return nil, false
+		}
+		tenant = t.Name
 	}
-	return j, ok
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok || !j.visibleTo(tenant) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,10 @@ type Job struct {
 	// placement — the job is the content address, not the caller.
 	tenant   string
 	priority int
+	// viewers is the set of tenants that submitted this job (the original
+	// submitter plus every coalesced one); it gates who may observe the job
+	// over HTTP. nil means unrestricted (cache-synthesized jobs).
+	viewers map[string]struct{}
 
 	mu     sync.Mutex
 	state  string // StateQueued -> StateRunning -> StateDone/StateFailed
@@ -47,6 +51,7 @@ func newJob(parent context.Context, key string, req winofault.CampaignRequest, t
 		cancel:   cancel,
 		tenant:   tenant,
 		priority: priority,
+		viewers:  map[string]struct{}{tenant: {}},
 		state:    winofault.StateQueued,
 		subs:     map[chan winofault.CampaignStatus]struct{}{},
 		doneCh:   make(chan struct{}),
@@ -147,6 +152,36 @@ func (j *Job) Subscribe() (<-chan winofault.CampaignStatus, func()) {
 	}
 }
 
+// addViewer grants a coalescing submitter's tenant visibility of this job.
+func (j *Job) addViewer(tenant string) {
+	j.mu.Lock()
+	if j.viewers != nil {
+		j.viewers[tenant] = struct{}{}
+	}
+	j.mu.Unlock()
+}
+
+// visibleTo reports whether a caller running as tenant may observe this job
+// (status, result, events, cancel). Campaign IDs are deterministic request
+// hashes, so without this check any tenant that can guess another's request
+// parameters could read its results or cancel its runs. Two viewer sets are
+// unrestricted by design: cache-synthesized jobs (nil set — resubmitting the
+// request would hand the caller the same bytes anyway) and jobs submitted by
+// the trusted in-process path as the default tenant (recovery resubmissions
+// after a coordinator restart, which cannot know the original submitter).
+func (j *Job) visibleTo(tenant string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.viewers == nil {
+		return true
+	}
+	if _, ok := j.viewers[DefaultTenant]; ok {
+		return true
+	}
+	_, ok := j.viewers[tenant]
+	return ok
+}
+
 // broadcastLocked fans a snapshot out to subscribers without blocking.
 func (j *Job) broadcastLocked(st winofault.CampaignStatus) {
 	for ch := range j.subs {
@@ -164,6 +199,16 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
+// batchesPerAttempt is the batch-numbering stride between execution attempts
+// of one campaign: attempt n reports its phases under batches
+// [n*batchesPerAttempt, (n+1)*batchesPerAttempt). runCampaign's dist→local
+// fallback starts attempt 1 by remapping local batches up a stride, and
+// progress uses the same stride to tell "next phase of this attempt" (bank
+// its completed units) from "restarted unit space" (drop them — the rerun
+// re-reports every unit, so banking the abandoned attempt's partial count
+// would double-bill the tenant's served-units total).
+const batchesPerAttempt = 2
+
 func (j *Job) progress(batch, done, total int) {
 	j.mu.Lock()
 	// Scheduler workers report concurrently, so done values can arrive out
@@ -176,9 +221,14 @@ func (j *Job) progress(batch, done, total int) {
 		return
 	}
 	if batch > j.batch {
-		// A new batch begins: bank the previous batch's completed units for
-		// served-units accounting.
-		j.units += j.done
+		if batch/batchesPerAttempt > j.batch/batchesPerAttempt {
+			// A new attempt restarts the campaign's unit space from zero.
+			j.units = 0
+		} else {
+			// The next phase of the same attempt: bank the finished phase's
+			// completed units for served-units accounting.
+			j.units += j.done
+		}
 	}
 	j.batch, j.done, j.total = batch, done, total
 	j.broadcastLocked(j.statusLocked())

@@ -228,7 +228,10 @@ func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error)
 	}
 	if j, ok := s.jobs[key]; ok {
 		if st := j.Status(); st.State == winofault.StateQueued || st.State == winofault.StateRunning {
-			return j, nil // coalesce onto the in-flight execution
+			// Coalesce onto the in-flight execution; the coalescing tenant
+			// becomes a viewer so it can observe the job it now shares.
+			j.addViewer(t.Name)
+			return j, nil
 		}
 		// Finished jobs: done ones were served by the cache checks (unless
 		// evicted with persistence off — then re-running is the only way to
@@ -416,10 +419,12 @@ func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest
 		}
 		// The distributed attempt may already have published batch 0/1
 		// progress; Job.progress is batch-monotonic, so the local re-run
-		// reports under fresh batch numbers or its early progress would be
-		// suppressed (frozen SSE/status) until it overtook the fleet's.
+		// reports under the next attempt's batch numbers or its early
+		// progress would be suppressed (frozen SSE/status) until it overtook
+		// the fleet's. The stride also tells served-units accounting to drop
+		// the abandoned attempt's partial units instead of double-billing.
 		inner := progress
-		progress = func(batch, done, total int) { inner(batch+2, done, total) }
+		progress = func(batch, done, total int) { inner(batch+batchesPerAttempt, done, total) }
 	}
 	return s.local(ctx, req, progress)
 }

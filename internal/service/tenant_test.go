@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -272,6 +273,107 @@ func TestTenantQuota429(t *testing.T) {
 			t.Fatal("quota never freed after the campaign finished")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCampaignRoutesScopedToTenant: on a keyed server every /campaigns*
+// route demands a valid API key, and status/result/cancel are visible only
+// to tenants that submitted the campaign. Campaign IDs are deterministic
+// request hashes, so without this scope any tenant that guessed another's
+// request parameters could read its results or cancel its runs.
+func TestCampaignRoutesScopedToTenant(t *testing.T) {
+	table, err := ParseTenantTable("ka acme\nkb rival")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	s := newStubService(t, Config{Jobs: 1, QueueDepth: 16, Tenants: table},
+		func(ctx context.Context, req winofault.CampaignRequest, progress func(int, int, int)) ([]byte, error) {
+			<-gate
+			return []byte(`{"points":[]}`), nil
+		})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func(method, path, apiKey string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if apiKey != "" {
+			req.Header.Set("X-API-Key", apiKey)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	submit := func(apiKey string) string {
+		t.Helper()
+		body, _ := json.Marshal(sweepReq(41))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/campaigns", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", apiKey)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission as %q returned %d, want 202", apiKey, resp.StatusCode)
+		}
+		var st winofault.CampaignStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.ID
+	}
+
+	id := submit("ka")
+	for _, route := range []string{"/campaigns/" + id, "/campaigns/" + id + "/result", "/campaigns/" + id + "/events"} {
+		if code := do(http.MethodGet, route, ""); code != http.StatusUnauthorized {
+			t.Errorf("keyless GET %s returned %d, want 401", route, code)
+		}
+		if code := do(http.MethodGet, route, "intruder"); code != http.StatusUnauthorized {
+			t.Errorf("bad-key GET %s returned %d, want 401", route, code)
+		}
+		if code := do(http.MethodGet, route, "kb"); code != http.StatusNotFound {
+			t.Errorf("cross-tenant GET %s returned %d, want 404", route, code)
+		}
+	}
+	if code := do(http.MethodGet, "/campaigns/"+id, "ka"); code != http.StatusOK {
+		t.Errorf("submitter's status poll returned %d, want 200", code)
+	}
+	if code := do(http.MethodDelete, "/campaigns/"+id, ""); code != http.StatusUnauthorized {
+		t.Errorf("keyless cancel returned %d, want 401", code)
+	}
+	if code := do(http.MethodDelete, "/campaigns/"+id, "kb"); code != http.StatusNotFound {
+		t.Errorf("cross-tenant cancel returned %d, want 404", code)
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		t.Fatal("submitted job vanished")
+	}
+	if st := j.Status().State; st == winofault.StateFailed {
+		t.Fatalf("cross-tenant DELETE canceled the campaign (state %s)", st)
+	}
+
+	// A coalescing submitter becomes a viewer of the shared job.
+	if id2 := submit("kb"); id2 != id {
+		t.Fatalf("identical request got a different ID: %s vs %s", id2, id)
+	}
+	if code := do(http.MethodGet, "/campaigns/"+id, "kb"); code != http.StatusOK {
+		t.Errorf("coalesced tenant's status poll returned %d, want 200", code)
+	}
+	if code := do(http.MethodDelete, "/campaigns/"+id, "ka"); code != http.StatusOK {
+		t.Errorf("submitter's cancel returned %d, want 200", code)
 	}
 }
 
