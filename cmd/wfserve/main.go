@@ -26,7 +26,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,10 +33,12 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
 func main() {
+	start := time.Now()
 	addr := flag.String("addr", ":8077", "listen address")
 	cacheDir := flag.String("cache-dir", "", "result cache persistence directory (empty = memory only)")
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache capacity")
@@ -50,7 +51,15 @@ func main() {
 	shardUnits := flag.Int("shard-units", 0, "with -dist: units per shard (0 = auto, ~2 shards per live worker)")
 	journal := flag.String("journal", "", "with -dist: control-plane journal file; a restarted server resumes in-flight campaigns from it")
 	keys := flag.String("keys", "", "API key table file: \"<api-key> <tenant> [weight=N] [quota=N]\" per line (empty + WFSERVE_KEYS env unset = open server)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof and runtime /metrics (empty = disabled; bind loopback, never the public address)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
+		os.Exit(1)
+	}
 
 	// Tenancy: -keys names a table file; the WFSERVE_KEYS environment
 	// variable may carry the same content inline (container secrets).
@@ -78,6 +87,7 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
 		Tenants:      tenants,
+		Logger:       logger,
 	}
 	var coord *dist.Coordinator
 	if *distFlag {
@@ -85,6 +95,7 @@ func main() {
 			LeaseTTL:    *lease,
 			ShardUnits:  *shardUnits,
 			JournalPath: *journal,
+			Logger:      logger,
 		}
 		if tenants != nil {
 			ccfg.Auth = tenants.Valid
@@ -114,8 +125,23 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("wfserve: listening on %s (jobs=%d queue=%d workers=%d cache=%d dir=%q dist=%t journal=%q tenants=%d)",
-		*addr, *jobs, *queue, *workers, *cacheEntries, *cacheDir, *distFlag, *journal, tenants.Len())
+	logger.Info("wfserve: listening",
+		"addr", *addr, "jobs", *jobs, "queue", *queue, "workers", *workers,
+		"cache", *cacheEntries, "dir", *cacheDir, "dist", *distFlag,
+		"journal", *journal, "tenants", tenants.Len())
+
+	// The debug listener is deliberately a second server: pprof and runtime
+	// internals never ride the public address.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dbg = &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler("wfserve", start, nil)}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("wfserve: debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("wfserve: debug listener up", "addr", *debugAddr)
+	}
 
 	// Crash recovery: resubmit every campaign the journal says a previous
 	// incarnation left unfinished. The content-addressed cache answers any
@@ -133,18 +159,20 @@ func main() {
 				// Unrunnable requests (validation) must not crash-loop the
 				// journal; queue pressure just means recovery is best-effort
 				// this boot — the journal entry survives for the next one.
-				log.Printf("wfserve: recovery: campaign %.12s not resubmitted: %v", rc.Key, err)
+				logger.Warn("wfserve: recovery: campaign not resubmitted",
+					"campaign", shortKey(rc.Key), "err", err)
 				if !errors.Is(err, service.ErrQueueFull) && !errors.Is(err, service.ErrClosed) {
 					coord.CampaignDone(rc.Key)
 				}
 				continue
 			}
 			if st := j.Status(); st.Cached {
-				log.Printf("wfserve: recovery: campaign %.12s already cached; retiring journal entry", rc.Key)
+				logger.Info("wfserve: recovery: campaign already cached; retiring journal entry",
+					"campaign", shortKey(rc.Key))
 				coord.CampaignDone(rc.Key)
 				continue
 			}
-			log.Printf("wfserve: resuming journaled campaign %.12s", rc.Key)
+			logger.Info("wfserve: resuming journaled campaign", "campaign", shortKey(rc.Key))
 		}
 	}
 
@@ -155,7 +183,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wfserve: %v\n", err)
 		os.Exit(1)
 	case s := <-sig:
-		log.Printf("wfserve: %v: draining (budget %s)", s, *drain)
+		logger.Info("wfserve: draining", "signal", s.String(), "budget", *drain)
 	}
 
 	// Flip the drain state first: new submissions and worker registrations
@@ -173,11 +201,14 @@ func main() {
 	defer cancel()
 	code := 0
 	if err := svc.Close(ctx); err != nil {
-		log.Printf("wfserve: drain expired, in-flight campaigns canceled: %v", err)
+		logger.Error("wfserve: drain expired, in-flight campaigns canceled", "err", err)
 		code = 1
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("wfserve: http shutdown: %v", err)
+		logger.Warn("wfserve: http shutdown", "err", err)
+	}
+	if dbg != nil {
+		dbg.Shutdown(ctx)
 	}
 	if coord != nil {
 		coord.Close()
@@ -185,5 +216,13 @@ func main() {
 	if code != 0 {
 		os.Exit(code)
 	}
-	log.Printf("wfserve: drained cleanly")
+	logger.Info("wfserve: drained cleanly")
+}
+
+// shortKey truncates a campaign content address for log attrs.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
 }

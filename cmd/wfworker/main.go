@@ -12,18 +12,23 @@
 //
 // The worker survives coordinator restarts and network blips by backing off
 // and re-registering; SIGTERM/SIGINT stop it cleanly (an unreported shard
-// is simply re-leased to the rest of the fleet).
+// is simply re-leased to the rest of the fleet). With -debug-addr the node
+// serves /debug/pprof and a /metrics page (shard counter, execution latency
+// histogram, build/runtime gauges) on a private listener.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,7 +36,26 @@ func main() {
 	name := flag.String("name", defaultName(), "worker name reported in logs and /metrics")
 	workers := flag.Int("workers", 0, "faultsim parallelism per shard (0 = GOMAXPROCS; never changes results)")
 	apiKey := flag.String("api-key", os.Getenv("WF_API_KEY"), "API key for a coordinator running with -keys (default $WF_API_KEY)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof and /metrics (empty = disabled; bind loopback)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfworker: %v\n", err)
+		os.Exit(1)
+	}
+
+	metrics := dist.NewWorkerMetrics()
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: metrics.Handler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("wfworker: debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("wfworker: debug listener up", "addr", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -40,6 +64,8 @@ func main() {
 		Name:    *name,
 		Workers: *workers,
 		APIKey:  *apiKey,
+		Logger:  logger,
+		Metrics: metrics,
 	}); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "wfworker: %v\n", err)
 		os.Exit(1)

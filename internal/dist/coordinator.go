@@ -4,13 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	winofault "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -51,8 +52,8 @@ type CoordinatorConfig struct {
 	// API key it rejects gets a 401 instead of joining the fleet. nil leaves
 	// the fleet API open (single-lab mode).
 	Auth func(apiKey string) bool
-	// Logf receives coordinator events (default log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives coordinator events (default slog.Default()).
+	Logger *slog.Logger
 }
 
 // Coordinator is the fleet side of distributed campaign execution: worker
@@ -97,6 +98,7 @@ type shard struct {
 	attempts int       // explicit failures reported by workers
 	worker   string    // current lease holder ("" while pending)
 	deadline time.Time // lease expiry when leased
+	leaseAt  time.Time // when the current (or last) lease was granted
 }
 
 // campaignRun collects one phase's shard results.
@@ -109,6 +111,11 @@ type campaignRun struct {
 	err       error
 	done      chan struct{}
 	progress  func(done, total int)
+	// o and span carry the campaign's observability handles into result(),
+	// which runs on handler goroutines: merged shards become child spans of
+	// the phase span and worker exec times feed the ShardExec histogram.
+	o    obs.Obs
+	span *obs.Span
 }
 
 // NewCoordinator builds a coordinator and starts its lease janitor; stop it
@@ -130,8 +137,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.RecoveryGrace <= 0 {
 		cfg.RecoveryGrace = cfg.LeaseTTL
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	c := &Coordinator{
 		cfg:      cfg,
@@ -142,7 +149,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		stop:     make(chan struct{}),
 	}
 	if cfg.JournalPath != "" {
-		jrnl, registry, err := openJournal(cfg.JournalPath, cfg.JournalBudget, cfg.Logf)
+		jrnl, registry, err := openJournal(cfg.JournalPath, cfg.JournalBudget, cfg.Logger)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +159,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			cs.recovered = true
 		}
 		if len(registry) > 0 {
-			cfg.Logf("dist: journal %s: %d unfinished campaigns recovered", cfg.JournalPath, len(registry))
+			cfg.Logger.Info("dist: journal replayed: unfinished campaigns recovered",
+				"journal", cfg.JournalPath, "campaigns", len(registry))
 		}
 	}
 	go c.janitor()
@@ -267,6 +275,7 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 // byte-identical to the local runner's for the same request — the marshaled
 // result of the same index-ordered integer reduction.
 func (c *Coordinator) Run(ctx context.Context, key string, req winofault.CampaignRequest, progress func(batch, done, total int)) ([]byte, error) {
+	o := obs.From(ctx)
 	c.mu.Lock()
 	// Durability begins here: register the campaign before any execution
 	// decision, so even a run that immediately falls back to local (no live
@@ -308,22 +317,34 @@ func (c *Coordinator) Run(ctx context.Context, key string, req winofault.Campaig
 		return nil, err
 	}
 
-	counts, err := c.runPhase(ctx, key, req, PhaseSweep, sys.SweepUnits(req.BERs), func(done, total int) { progress(0, done, total) })
+	ph := o.Trace.Start("phase", obs.A("phase", "sweep"), obs.A("path", "dist"))
+	counts, err := c.runPhase(ctx, o, ph, key, req, PhaseSweep, sys.SweepUnits(req.BERs), func(done, total int) { progress(0, done, total) })
 	if err != nil {
+		ph.SetAttr("err", err.Error())
+		ph.End()
 		return nil, err
 	}
+	mStart := time.Now()
 	pts, err := sys.SweepFromCounts(req.BERs, counts)
+	ph.Record("merge", mStart, time.Since(mStart))
+	ph.End()
 	if err != nil {
 		return nil, err
 	}
 	res := winofault.CampaignResult{Points: pts}
 	if req.Layers {
 		mid := req.BERs[len(req.BERs)/2]
-		counts, err := c.runPhase(ctx, key, req, PhaseLayers, sys.LayerUnits(mid), func(done, total int) { progress(1, done, total) })
+		ph := o.Trace.Start("phase", obs.A("phase", "layers"), obs.A("path", "dist"))
+		counts, err := c.runPhase(ctx, o, ph, key, req, PhaseLayers, sys.LayerUnits(mid), func(done, total int) { progress(1, done, total) })
 		if err != nil {
+			ph.SetAttr("err", err.Error())
+			ph.End()
 			return nil, err
 		}
+		mStart := time.Now()
 		base, layers, err := sys.LayersFromCounts(mid, counts)
+		ph.Record("merge", mStart, time.Since(mStart))
+		ph.End()
 		if err != nil {
 			return nil, err
 		}
@@ -337,7 +358,8 @@ func (c *Coordinator) Run(ctx context.Context, key string, req winofault.Campaig
 // lapses, or ctx/Close interrupts, reporting whether the fleet came back.
 // Only journal-recovered campaigns wait (see CoordinatorConfig.RecoveryGrace).
 func (c *Coordinator) awaitWorkers(ctx context.Context, key string) bool {
-	c.cfg.Logf("dist: campaign %.12s: recovered from journal; waiting up to %s for workers to re-register", key, c.cfg.RecoveryGrace)
+	c.cfg.Logger.Info("dist: campaign recovered from journal; waiting for workers to re-register",
+		"campaign", short(key), "grace", c.cfg.RecoveryGrace)
 	deadline := time.NewTimer(c.cfg.RecoveryGrace)
 	defer deadline.Stop()
 	tick := time.NewTicker(50 * time.Millisecond)
@@ -364,17 +386,21 @@ func (c *Coordinator) awaitWorkers(ctx context.Context, key string) bool {
 // runPhase shards one phase's unit index space [0, total) into contiguous
 // ranges, dispatches them, and blocks until every shard's counts are merged
 // (in index order, by construction of the counts slice) or the phase fails.
-func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.CampaignRequest, phase, total int, progress func(done, total int)) ([]int, error) {
+func (c *Coordinator) runPhase(ctx context.Context, o obs.Obs, ph *obs.Span, key string, req winofault.CampaignRequest, phase, total int, progress func(done, total int)) ([]int, error) {
+	ph.SetAttr("units", total)
 	run := &campaignRun{
 		counts:   make([]int, total),
 		total:    total,
 		done:     make(chan struct{}),
 		progress: progress,
+		o:        o,
+		span:     ph,
 	}
 	if total == 0 {
 		return run.counts, nil // e.g. every BER <= 0: nothing to sample
 	}
 
+	recStart := time.Now()
 	c.mu.Lock()
 	// Resume: pre-fill unit ranges a previous incarnation already merged and
 	// journaled. Counts are deterministic, so a pre-filled range holds
@@ -386,8 +412,8 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 		kept := cs.phases[phase][:0]
 		for _, r := range cs.phases[phase] {
 			if r.lo < 0 || r.hi > total || len(r.counts) != r.hi-r.lo {
-				c.cfg.Logf("dist: campaign %.12s phase %d: dropping journaled range [%d,%d) (outside %d units)",
-					key, phase, r.lo, r.hi, total)
+				c.cfg.Logger.Warn("dist: dropping journaled range outside unit space",
+					"campaign", short(key), "phase", phase, "lo", r.lo, "hi", r.hi, "units", total)
 				continue
 			}
 			kept = append(kept, r)
@@ -406,7 +432,10 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 		// The whole phase was merged before the crash: no fleet needed, the
 		// live-worker check below would only get in the way.
 		c.mu.Unlock()
-		c.cfg.Logf("dist: campaign %.12s phase %d: all %d units recovered from journal", key, phase, total)
+		ph.Record("journal-recovery", recStart, time.Since(recStart),
+			obs.A("units", prefilled), obs.A("epoch", c.epoch))
+		c.cfg.Logger.Info("dist: all units recovered from journal",
+			"campaign", short(key), "phase", phase, "units", total)
 		return run.counts, nil
 	}
 	now := time.Now()
@@ -453,11 +482,19 @@ func (c *Coordinator) runPhase(ctx context.Context, key string, req winofault.Ca
 	}
 	c.mu.Unlock()
 	if prefilled > 0 {
-		c.cfg.Logf("dist: campaign %.12s phase %d: resuming — %d/%d units recovered from journal, %d remaining in %d shards",
-			key, phase, prefilled, total, total-prefilled, shards)
+		ph.Record("journal-recovery", recStart, time.Since(recStart),
+			obs.A("units", prefilled), obs.A("epoch", c.epoch))
+		c.cfg.Logger.Info("dist: resuming: units recovered from journal",
+			"campaign", short(key), "phase", phase, "recovered", prefilled, "total", total,
+			"remaining", total-prefilled, "shards", shards)
 	} else {
-		c.cfg.Logf("dist: campaign %.12s phase %d: %d units in %d shards across %d live workers",
-			key, phase, total, shards, live)
+		c.cfg.Logger.Info("dist: phase sharded",
+			"campaign", short(key), "phase", phase, "units", total, "shards", shards, "workers", live)
+	}
+	if progress != nil {
+		// Publish the starting point (non-zero after a journal resume) so
+		// subscribers see recovered progress before the first merge lands.
+		progress(prefilled, total)
 	}
 
 	select {
@@ -510,7 +547,7 @@ func (c *Coordinator) register(name string) (registerResponse, error) {
 		lastSeen: time.Now(),
 	}
 	c.workers[w.id] = w
-	c.cfg.Logf("dist: worker %s (%q) registered", w.id, w.name)
+	c.cfg.Logger.Info("dist: worker registered", "worker", w.id, "name", w.name)
 	return registerResponse{
 		ID:          w.id,
 		LeaseMillis: c.cfg.LeaseTTL.Milliseconds(),
@@ -559,6 +596,7 @@ func (c *Coordinator) lease(workerID string) (*ShardTask, error) {
 	c.pending = c.pending[1:]
 	sh.worker = workerID
 	sh.deadline = now.Add(c.cfg.LeaseTTL)
+	sh.leaseAt = now
 	c.leased[sh.task.ID] = sh
 	task := sh.task
 	return &task, nil
@@ -599,7 +637,8 @@ func (c *Coordinator) result(workerID string, res ShardResult) {
 			msg = fmt.Sprintf("shard %s returned %d counts for %d units", res.Task, len(res.Counts), sh.task.Hi-sh.task.Lo)
 		}
 		sh.attempts++
-		c.cfg.Logf("dist: shard %s failed on %s (attempt %d/%d): %s", res.Task, workerID, sh.attempts, c.cfg.MaxAttempts, msg)
+		c.cfg.Logger.Warn("dist: shard failed",
+			"shard", res.Task, "worker", workerID, "attempt", sh.attempts, "max", c.cfg.MaxAttempts, "err", msg)
 		if sh.attempts >= c.cfg.MaxAttempts {
 			c.finishRunLocked(run, fmt.Errorf("dist: shard %s failed after %d attempts: %s", res.Task, sh.attempts, msg))
 		} else {
@@ -631,7 +670,20 @@ func (c *Coordinator) result(workerID string, res ShardResult) {
 	if run.remaining == 0 {
 		c.finishRunLocked(run, nil)
 	}
+	leaseAt, attempt := sh.leaseAt, sh.attempts+1
 	c.mu.Unlock()
+	// Stitch the shard into the campaign timeline: the span covers
+	// lease-to-merge on the coordinator's clock, with the worker's own
+	// execution time attached as a duration (immune to clock skew). Shard IDs
+	// are epoch-stamped, so traces distinguish pre- and post-restart work.
+	exec := time.Duration(res.ExecNanos)
+	run.span.Record("shard", leaseAt, now.Sub(leaseAt),
+		obs.A("shard", res.Task), obs.A("worker", workerID), obs.A("epoch", c.epoch),
+		obs.A("lo", sh.task.Lo), obs.A("hi", sh.task.Hi),
+		obs.A("exec", exec), obs.A("attempt", attempt))
+	if run.o.Metrics != nil && exec > 0 {
+		run.o.Metrics.ShardExec.Observe(exec.Seconds())
+	}
 	if progress != nil {
 		progress(doneUnits, total)
 	}
@@ -658,7 +710,7 @@ func (c *Coordinator) expire(now time.Time) {
 	c.mu.Lock()
 	for id, sh := range c.leased {
 		if now.After(sh.deadline) {
-			c.cfg.Logf("dist: lease on shard %s expired (worker %s silent); re-queueing", id, sh.worker)
+			c.cfg.Logger.Info("dist: lease expired; re-queueing shard", "shard", id, "worker", sh.worker)
 			delete(c.leased, id)
 			sh.worker = ""
 			c.pending = append(c.pending, sh)

@@ -75,4 +75,19 @@ type ShardResult struct {
 	Task   string `json:"task"`
 	Counts []int  `json:"counts,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// ExecNanos is the worker-side wall time spent executing the shard, in
+	// nanoseconds. It rides back in the result message so the coordinator can
+	// stitch worker execution time into the campaign trace without any clock
+	// agreement between the two machines — a duration survives clock skew,
+	// an absolute timestamp would not.
+	ExecNanos int64 `json:"execNanos,omitempty"`
+}
+
+// short truncates a campaign key for logs and span attrs, matching the
+// %.12s prefix shard IDs embed.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -16,7 +17,7 @@ import (
 	"repro/internal/service"
 )
 
-func quiet() func(string, ...any) { return func(string, ...any) {} }
+func quiet() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 // tinyReq is a real but fast campaign (the same shape the service tests
 // use), with the layer-sensitivity phase on so both unit spaces shard.
@@ -36,7 +37,7 @@ func tinyReq() winofault.CampaignRequest {
 // every distributed execution must match byte-for-byte.
 func localBytes(t *testing.T, req winofault.CampaignRequest) []byte {
 	t.Helper()
-	s, err := service.New(service.Config{Jobs: 1, QueueDepth: 4, Logf: quiet()})
+	s, err := service.New(service.Config{Jobs: 1, QueueDepth: 4, Logger: quiet()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,8 +57,8 @@ func localBytes(t *testing.T, req winofault.CampaignRequest) []byte {
 // workers, and tears everything down with the test.
 func fleet(t *testing.T, cfg CoordinatorConfig, n int) (*Coordinator, string) {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = quiet()
+	if cfg.Logger == nil {
+		cfg.Logger = quiet()
 	}
 	c, err := NewCoordinator(cfg)
 	if err != nil {
@@ -71,7 +72,7 @@ func fleet(t *testing.T, cfg CoordinatorConfig, n int) (*Coordinator, string) {
 		name := string(rune('a' + i))
 		go func() {
 			defer wg.Done()
-			RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: name, Workers: 1, Logf: quiet()})
+			RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: name, Workers: 1, Logger: quiet()})
 		}()
 	}
 	if n > 0 {
@@ -196,7 +197,7 @@ func TestServiceDistributedCacheBytes(t *testing.T) {
 	want := localBytes(t, req)
 
 	c, _ := fleet(t, CoordinatorConfig{LeaseTTL: 2 * time.Second, Poll: 10 * time.Millisecond, ShardUnits: 2}, 2)
-	s, err := service.New(service.Config{Jobs: 1, QueueDepth: 4, Logf: quiet(), Distributor: c})
+	s, err := service.New(service.Config{Jobs: 1, QueueDepth: 4, Logger: quiet(), Distributor: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestReLeaseAfterWorkerDeath(t *testing.T) {
 	// including the dead worker's shard once its lease expires.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go RunWorker(ctx, WorkerConfig{Server: url, Name: "survivor", Workers: 1, Logf: quiet()})
+	go RunWorker(ctx, WorkerConfig{Server: url, Name: "survivor", Workers: 1, Logger: quiet()})
 
 	select {
 	case r := <-out:
@@ -405,7 +406,7 @@ func TestShardErrorRetriesThenFails(t *testing.T) {
 // refuses a task whose advertised key disagrees — the coordinator sees an
 // explicit shard error, not silent wrong-campaign counts.
 func TestWorkerRefusesKeyMismatch(t *testing.T) {
-	w := &fleetWorker{cfg: WorkerConfig{Logf: quiet()}}
+	w := &fleetWorker{cfg: WorkerConfig{Logger: quiet()}}
 	res := w.execute(context.Background(), ShardTask{
 		ID:  "t1",
 		Key: strings.Repeat("0", 64),
@@ -424,7 +425,7 @@ func TestWorkerRefusesKeyMismatch(t *testing.T) {
 // TestDrainRefusesRegistration: a draining coordinator turns away new
 // fleet; existing workers keep leasing so in-flight campaigns finish.
 func TestDrainRefusesRegistration(t *testing.T) {
-	c, err := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Second, Logf: quiet()})
+	c, err := NewCoordinator(CoordinatorConfig{LeaseTTL: time.Second, Logger: quiet()})
 	if err != nil {
 		t.Fatalf("NewCoordinator: %v", err)
 	}

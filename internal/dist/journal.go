@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
@@ -83,7 +84,7 @@ type journal struct {
 	f       *os.File
 	records int // complete records currently in the file
 	budget  int // compaction threshold (records)
-	logf    func(format string, args ...any)
+	log     *slog.Logger
 	// compacting marks an in-flight snapshot rewrite (finishCompaction in a
 	// goroutine). Meanwhile appends keep landing on the old file AND are
 	// buffered in pending, so the snapshot can absorb them before the rename
@@ -98,8 +99,8 @@ type journal struct {
 // mid-write — is discarded with a log line and truncated away so the next
 // append starts on a clean boundary; refusing to start would turn one lost
 // record into a lost coordinator.
-func openJournal(path string, budget int, logf func(string, ...any)) (*journal, map[string]*campaignState, error) {
-	j := &journal{path: path, budget: budget, logf: logf}
+func openJournal(path string, budget int, lg *slog.Logger) (*journal, map[string]*campaignState, error) {
+	j := &journal{path: path, budget: budget, log: lg}
 	registry := map[string]*campaignState{}
 
 	data, err := os.ReadFile(path)
@@ -122,14 +123,15 @@ func openJournal(path string, budget int, logf func(string, ...any)) (*journal, 
 		}
 		good += nl + 1
 		j.records++
-		replayRecord(registry, rec, logf)
+		replayRecord(registry, rec, lg)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dist: open journal %s: %w", path, err)
 	}
 	if good < len(data) {
-		logf("dist: journal %s: discarding %d bytes of torn trailing record (crash mid-write); resuming from the last complete record", path, len(data)-good)
+		lg.Warn("dist: journal: discarding torn trailing record (crash mid-write); resuming from the last complete record",
+			"journal", path, "bytes", len(data)-good)
 		if err := f.Truncate(int64(good)); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("dist: truncate torn journal %s: %w", path, err)
@@ -144,11 +146,11 @@ func openJournal(path string, budget int, logf func(string, ...any)) (*journal, 
 }
 
 // replayRecord applies one journal record to the registry being rebuilt.
-func replayRecord(registry map[string]*campaignState, rec journalRecord, logf func(string, ...any)) {
+func replayRecord(registry map[string]*campaignState, rec journalRecord, lg *slog.Logger) {
 	switch rec.T {
 	case recCampaign:
 		if rec.Req == nil {
-			logf("dist: journal: campaign record %.12s has no request; dropping", rec.Key)
+			lg.Warn("dist: journal: campaign record has no request; dropping", "campaign", short(rec.Key))
 			return
 		}
 		if _, ok := registry[rec.Key]; !ok {
@@ -157,15 +159,15 @@ func replayRecord(registry map[string]*campaignState, rec journalRecord, logf fu
 	case recShard:
 		cs, ok := registry[rec.Key]
 		if !ok || rec.Hi <= rec.Lo || len(rec.Counts) != rec.Hi-rec.Lo {
-			logf("dist: journal: dropping malformed shard record for %.12s (phase %d, [%d,%d), %d counts)",
-				rec.Key, rec.Phase, rec.Lo, rec.Hi, len(rec.Counts))
+			lg.Warn("dist: journal: dropping malformed shard record",
+				"campaign", short(rec.Key), "phase", rec.Phase, "lo", rec.Lo, "hi", rec.Hi, "counts", len(rec.Counts))
 			return
 		}
 		cs.phases[rec.Phase] = append(cs.phases[rec.Phase], shardRange{lo: rec.Lo, hi: rec.Hi, counts: rec.Counts})
 	case recDone:
 		delete(registry, rec.Key)
 	default:
-		logf("dist: journal: ignoring unknown record type %q", rec.T)
+		lg.Warn("dist: journal: ignoring unknown record type", "type", rec.T)
 	}
 }
 
@@ -177,7 +179,7 @@ func (j *journal) append(rec journalRecord) {
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
-		j.logf("dist: journal: marshal %s record: %v", rec.T, err)
+		j.log.Error("dist: journal: marshal record failed", "type", rec.T, "err", err)
 		return
 	}
 	j.mu.Lock()
@@ -187,7 +189,7 @@ func (j *journal) append(rec journalRecord) {
 	}
 	line := append(data, '\n')
 	if _, err := j.f.Write(line); err != nil {
-		j.logf("dist: journal: append %s record: %v", rec.T, err)
+		j.log.Error("dist: journal: append record failed", "type", rec.T, "err", err)
 		return
 	}
 	j.records++
@@ -241,14 +243,14 @@ func (j *journal) finishCompaction(recs []journalRecord) {
 	tmp := j.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		j.logf("dist: journal: compaction open %s: %v", tmp, err)
+		j.log.Error("dist: journal: compaction open failed", "path", tmp, "err", err)
 		return
 	}
 	w := bufio.NewWriter(f)
 	for _, rec := range recs {
 		data, err := json.Marshal(rec)
 		if err != nil {
-			j.logf("dist: journal: compaction marshal: %v", err)
+			j.log.Error("dist: journal: compaction marshal failed", "err", err)
 			f.Close()
 			return
 		}
@@ -259,7 +261,7 @@ func (j *journal) finishCompaction(recs []journalRecord) {
 		err = f.Sync()
 	}
 	if err != nil {
-		j.logf("dist: journal: compaction write %s: %v", tmp, err)
+		j.log.Error("dist: journal: compaction write failed", "path", tmp, "err", err)
 		f.Close()
 		return
 	}
@@ -274,22 +276,22 @@ func (j *journal) finishCompaction(recs []journalRecord) {
 	}
 	if len(j.pending) > 0 {
 		if _, err := f.Write(j.pending); err != nil {
-			j.logf("dist: journal: compaction append pending: %v", err)
+			j.log.Error("dist: journal: compaction append pending failed", "err", err)
 			f.Close()
 			return
 		}
 		if err := f.Sync(); err != nil {
-			j.logf("dist: journal: compaction sync pending: %v", err)
+			j.log.Error("dist: journal: compaction sync pending failed", "err", err)
 			f.Close()
 			return
 		}
 	}
 	if err := f.Close(); err != nil {
-		j.logf("dist: journal: compaction close %s: %v", tmp, err)
+		j.log.Error("dist: journal: compaction close failed", "path", tmp, "err", err)
 		return
 	}
 	if err := os.Rename(tmp, j.path); err != nil {
-		j.logf("dist: journal: compaction rename: %v", err)
+		j.log.Error("dist: journal: compaction rename failed", "err", err)
 		return
 	}
 	done = true
@@ -298,13 +300,13 @@ func (j *journal) finishCompaction(recs []journalRecord) {
 		// The snapshot is in place but unappendable; keep the old handle
 		// (now pointing at the unlinked file) so appends still go somewhere
 		// recoverable-by-log rather than panicking.
-		j.logf("dist: journal: reopen after compaction: %v", err)
+		j.log.Error("dist: journal: reopen after compaction failed", "err", err)
 		return
 	}
 	j.f.Close()
 	j.f = nf
 	j.records = len(recs) + j.pendingN
-	j.logf("dist: journal: compacted to %d records", j.records)
+	j.log.Info("dist: journal: compacted", "records", j.records)
 }
 
 // snapshotRecords renders the registry as a minimal record sequence, in

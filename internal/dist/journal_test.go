@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -99,9 +100,9 @@ func TestJournalTornTailRecovery(t *testing.T) {
 	}
 	f.Close()
 
-	var logged []string
-	logf := func(format string, args ...any) { logged = append(logged, format) }
-	j2, reg, err := openJournal(path, 100, logf)
+	var logged bytes.Buffer
+	lg := slog.New(slog.NewTextHandler(&logged, nil))
+	j2, reg, err := openJournal(path, 100, lg)
 	if err != nil {
 		t.Fatalf("torn journal refused to open: %v", err)
 	}
@@ -109,14 +110,8 @@ func TestJournalTornTailRecovery(t *testing.T) {
 	if cs == nil || len(cs.phases[PhaseSweep]) != 1 {
 		t.Fatalf("complete prefix not replayed: %+v", reg)
 	}
-	found := false
-	for _, l := range logged {
-		if strings.Contains(l, "torn") {
-			found = true
-		}
-	}
-	if !found {
-		t.Errorf("discard was not logged: %v", logged)
+	if !strings.Contains(logged.String(), "torn") {
+		t.Errorf("discard was not logged: %v", logged.String())
 	}
 	// The torn bytes are gone and the next append lands on a clean boundary.
 	j2.append(journalRecord{T: recDone, Key: "aaa"})
@@ -209,7 +204,7 @@ func TestCoordinatorResumesFromJournal(t *testing.T) {
 	// a done record).
 	cfgA := CoordinatorConfig{
 		LeaseTTL: 5 * time.Second, Poll: 10 * time.Millisecond,
-		ShardUnits: 1, JournalPath: path, Logf: quiet(),
+		ShardUnits: 1, JournalPath: path, Logger: quiet(),
 	}
 	c1, err := NewCoordinator(cfgA)
 	if err != nil {
@@ -227,7 +222,7 @@ func TestCoordinatorResumesFromJournal(t *testing.T) {
 	if task.Phase != PhaseSweep || task.Hi-task.Lo != 1 {
 		t.Fatalf("first lease %+v, want a single sweep unit", task)
 	}
-	exec := &fleetWorker{cfg: WorkerConfig{Workers: 1, Logf: quiet()}}
+	exec := &fleetWorker{cfg: WorkerConfig{Workers: 1, Logger: quiet()}}
 	res := exec.execute(context.Background(), *task)
 	if res.Error != "" {
 		t.Fatalf("shard execution failed: %s", res.Error)
@@ -261,7 +256,7 @@ func TestCoordinatorResumesFromJournal(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			RunWorker(ctx2, WorkerConfig{Server: ts2.URL, Name: name, Workers: 1, Logf: quiet()})
+			RunWorker(ctx2, WorkerConfig{Server: ts2.URL, Name: name, Workers: 1, Logger: quiet()})
 		}()
 	}
 	t.Cleanup(func() {
@@ -318,7 +313,7 @@ func TestRecoveredRunAwaitsReregistration(t *testing.T) {
 	noProgress := func(batch, done, total int) {}
 	cfg := CoordinatorConfig{
 		LeaseTTL: 5 * time.Second, Poll: 10 * time.Millisecond,
-		JournalPath: path, RecoveryGrace: 5 * time.Second, Logf: quiet(),
+		JournalPath: path, RecoveryGrace: 5 * time.Second, Logger: quiet(),
 	}
 
 	// Incarnation A journals the campaign, then "crashes" before running it.
@@ -353,7 +348,7 @@ func TestRecoveredRunAwaitsReregistration(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		time.Sleep(200 * time.Millisecond) // re-registration lag
-		RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: "late", Workers: 1, Logf: quiet()})
+		RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: "late", Workers: 1, Logger: quiet()})
 	}()
 	t.Cleanup(func() {
 		cancel()
@@ -405,7 +400,7 @@ func (rw *rawWorker) report(t *testing.T, res ShardResult) {
 // key — a keyless register is a 401, a keyed worker joins and serves.
 func TestFleetAuth(t *testing.T) {
 	c, err := NewCoordinator(CoordinatorConfig{
-		LeaseTTL: time.Second, Logf: quiet(),
+		LeaseTTL: time.Second, Logger: quiet(),
 		Auth: func(k string) bool { return k == "sekrit" },
 	})
 	if err != nil {
@@ -429,7 +424,7 @@ func TestFleetAuth(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: "keyed", Workers: 1, APIKey: "sekrit", Logf: quiet()})
+		RunWorker(ctx, WorkerConfig{Server: ts.URL, Name: "keyed", Workers: 1, APIKey: "sekrit", Logger: quiet()})
 	}()
 	waitForWorkers(t, c, 1)
 	cancel()

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -28,8 +28,11 @@ type WorkerConfig struct {
 	// APIKey authenticates against a coordinator running with -keys. Empty
 	// is fine for an open (single-lab) coordinator.
 	APIKey string
-	// Logf receives worker events (default log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives worker events (default slog.Default()).
+	Logger *slog.Logger
+	// Metrics, when set, collects shard throughput/latency for the worker's
+	// debug listener. nil records nothing.
+	Metrics *WorkerMetrics
 }
 
 // RunWorker joins the fleet at cfg.Server and processes shard leases until
@@ -38,8 +41,8 @@ type WorkerConfig struct {
 // re-registering — the worker is stateless between shards except for a
 // small LRU of built systems keyed by campaign content address.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	base := cfg.Server
 	if !strings.Contains(base, "://") {
@@ -157,7 +160,8 @@ func (w *fleetWorker) session(ctx context.Context) error {
 			break
 		}
 		w.fails++
-		w.cfg.Logf("dist: worker %q: register against %s failed (status %d, err %v); retrying", w.cfg.Name, w.base, code, err)
+		w.cfg.Logger.Warn("dist: worker register failed; retrying",
+			"name", w.cfg.Name, "server", w.base.String(), "status", code, "err", err)
 		if !sleepCtx(ctx, w.backoff()) {
 			return ctx.Err()
 		}
@@ -172,7 +176,8 @@ func (w *fleetWorker) session(ctx context.Context) error {
 	if w.poll <= 0 {
 		w.poll = 500 * time.Millisecond
 	}
-	w.cfg.Logf("dist: worker %q registered as %s (lease %s, poll %s)", w.cfg.Name, w.id, w.lease, w.poll)
+	w.cfg.Logger.Info("dist: worker registered",
+		"name", w.cfg.Name, "worker", w.id, "lease", w.lease, "poll", w.poll)
 	return w.leaseLoop(ctx)
 }
 
@@ -195,7 +200,7 @@ func (w *fleetWorker) leaseLoop(ctx context.Context) error {
 				return ctx.Err()
 			}
 		case code == http.StatusNotFound:
-			w.cfg.Logf("dist: worker %s: registration lapsed; re-registering", w.id)
+			w.cfg.Logger.Info("dist: worker registration lapsed; re-registering", "worker", w.id)
 			return nil
 		case code == http.StatusNoContent:
 			w.fails = 0
@@ -204,7 +209,15 @@ func (w *fleetWorker) leaseLoop(ctx context.Context) error {
 			}
 		case code == http.StatusOK:
 			w.fails = 0
+			// Time the execution here (around system reuse and unit compute,
+			// not transport) and ship the duration back in the result: the
+			// coordinator stitches it into the campaign trace without the two
+			// clocks ever having to agree on absolute time.
+			execStart := time.Now()
 			res := w.execute(ctx, task)
+			exec := time.Since(execStart)
+			res.ExecNanos = exec.Nanoseconds()
+			w.cfg.Metrics.observeShard(exec)
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -245,7 +258,8 @@ func (w *fleetWorker) report(ctx context.Context, res ShardResult) {
 			return
 		}
 	}
-	w.cfg.Logf("dist: worker %s: dropping result for shard %s (coordinator unreachable); it will be re-leased", w.id, res.Task)
+	w.cfg.Logger.Warn("dist: dropping shard result (coordinator unreachable); it will be re-leased",
+		"worker", w.id, "shard", res.Task)
 }
 
 // execute runs one shard: re-canonicalize the campaign spec, rebuild (or

@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WorkerMetrics is the per-node instrumentation wfworker serves on its
+// -debug-addr listener: shard throughput and execution latency, alongside
+// the build/runtime gauges every debug listener carries. A nil *WorkerMetrics
+// records nothing, so the worker loop never branches on whether the debug
+// listener is enabled.
+type WorkerMetrics struct {
+	start  time.Time
+	shards atomic.Int64 // completed shard executions (including failed ones)
+	exec   *obs.Histogram
+}
+
+// NewWorkerMetrics builds the worker's metric set.
+func NewWorkerMetrics() *WorkerMetrics {
+	return &WorkerMetrics{start: time.Now(), exec: obs.NewHistogram(obs.DurationBuckets)}
+}
+
+// observeShard records one shard execution.
+func (m *WorkerMetrics) observeShard(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.shards.Add(1)
+	m.exec.Observe(d.Seconds())
+}
+
+// Handler serves the worker's debug mux: /debug/pprof/* plus /metrics with
+// wfworker_build_info, wfworker_uptime_seconds, runtime gauges, the shard
+// counter and the shard execution histogram.
+func (m *WorkerMetrics) Handler() http.Handler {
+	return obs.DebugHandler("wfworker", m.start, func(w http.ResponseWriter) {
+		fmt.Fprintf(w, "# HELP wfworker_shards_total Shard executions completed by this worker (including failures).\n")
+		fmt.Fprintf(w, "# TYPE wfworker_shards_total counter\n")
+		fmt.Fprintf(w, "wfworker_shards_total %d\n", m.shards.Load())
+		m.exec.Write(w, "wfworker_shard_exec_seconds", "Wall time this worker spent executing one shard.")
+	})
+}

@@ -26,6 +26,9 @@ func TestCancellationStopsScheduling(t *testing.T) {
 				if tot != total {
 					t.Errorf("workers=%d: progress total %d, want %d", workers, tot, total)
 				}
+				if done == 0 {
+					return // the batch announcement, not a completed unit
+				}
 				if executed.Add(1) >= 2 {
 					cancel()
 				}
@@ -44,9 +47,9 @@ func TestCancellationStopsScheduling(t *testing.T) {
 	}
 }
 
-// TestProgressReportsEveryUnit: an uncancelled campaign reports monotonically
-// increasing progress that ends exactly at the unit total, and progress
-// observation does not change the measured accuracy.
+// TestProgressReportsEveryUnit: an uncancelled campaign announces the batch
+// with a 0/total call, reports every completed unit, and progress observation
+// does not change the measured accuracy.
 func TestProgressReportsEveryUnit(t *testing.T) {
 	st, _, stInt, _ := testRig(t, 4)
 	const rounds = 3
@@ -55,18 +58,25 @@ func TestProgressReportsEveryUnit(t *testing.T) {
 	quiet := Options{Semantics: fault.OperandFlip, Seed: 22, Intensity: stInt, Workers: 1}
 	want := st.Sweep(context.Background(), bers, quiet, rounds)
 
-	var calls atomic.Int64
+	var calls, announced atomic.Int64
 	observed := quiet
 	observed.Progress = func(done, total int) {
-		calls.Add(1)
 		if total != len(bers)*rounds {
 			t.Errorf("progress total %d, want %d", total, len(bers)*rounds)
 		}
+		if done == 0 {
+			announced.Add(1)
+			return
+		}
+		calls.Add(1)
 		if done < 1 || done > total {
 			t.Errorf("progress done %d out of range [1,%d]", done, total)
 		}
 	}
 	got := st.Sweep(context.Background(), bers, observed, rounds)
+	if announced.Load() != 1 {
+		t.Errorf("batch announced %d times, want 1", announced.Load())
+	}
 	if int(calls.Load()) != len(bers)*rounds {
 		t.Errorf("progress called %d times, want %d", calls.Load(), len(bers)*rounds)
 	}

@@ -340,6 +340,13 @@ func (r *Runner) UnitCounts(ctx context.Context, cs []Campaign, rounds, lo, hi i
 		}
 	}
 
+	// Publish the batch total before any unit completes so observers (SSE
+	// subscribers, the trace timeline) see 0/total rather than waiting for
+	// the first unit to learn the denominator.
+	if progress != nil {
+		progress(0, hi-lo)
+	}
+
 	agree := make([]int, hi-lo)
 	var completed atomic.Int64
 	r.runUnits(ctx, workers, hi-lo, func(ec *nn.ExecContext, u int) {

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler builds the -debug-addr mux shared by wfserve and wfworker:
+// the full net/http/pprof suite under /debug/pprof/ plus a /metrics page
+// (build info, uptime, runtime gauges, and whatever extra the caller
+// contributes). This handler must only ever be bound to a loopback or
+// otherwise private listener — pprof exposes heap contents — which is why
+// the daemons keep it off the public mux entirely.
+func DebugHandler(prefix string, start time.Time, extra func(w http.ResponseWriter)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteBuildInfo(w, prefix, start)
+		WriteRuntimeMetrics(w, prefix)
+		if extra != nil {
+			extra(w)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the daemons' slog.Logger: format is "text" or "json"
+// (the -log-format flag). Both handlers go through slog so every line
+// carries the structured campaign/tenant/shard/epoch attrs that correlate
+// logs with traces and metrics.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the service stack's observability layer: lightweight
+// campaign tracing (monotonic-clock span trees bounded per campaign),
+// hand-rolled Prometheus exposition primitives (fixed-bucket histograms, a
+// label escaper, a strict validity parser), structured logging setup
+// (log/slog), and the pprof debug listener shared by wfserve and wfworker.
+//
+// The package depends only on the standard library, and every recording
+// entry point is nil-safe: a nil *Trace, *Span, *Histogram or zero Obs value
+// turns the corresponding call into a no-op, so instrumented code never
+// branches on whether observability is wired up. Spans exist at campaign and
+// shard granularity only — nothing in this package is ever called from the
+// per-round forward-pass hot loop, which is what keeps the alloc-free
+// guarantees of internal/nn intact (see DESIGN.md "Observability").
+package obs
+
+import "context"
+
+// Obs bundles the observability handles a campaign execution carries through
+// its context: the campaign's trace and the service-level histogram set. The
+// zero value is valid and records nothing.
+type Obs struct {
+	Trace   *Trace
+	Metrics *Metrics
+}
+
+type ctxKey struct{}
+
+// With attaches o to ctx. The service attaches a campaign's Obs to the job
+// context at submission, so every layer below (distributor, coordinator,
+// local runner) can record spans without plumbing new parameters.
+func With(ctx context.Context, o Obs) context.Context {
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// From extracts the Obs attached by With, or a zero (no-op) value.
+func From(ctx context.Context) Obs {
+	if o, ok := ctx.Value(ctxKey{}).(Obs); ok {
+		return o
+	}
+	return Obs{}
+}

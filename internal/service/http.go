@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	winofault "repro"
+	"repro/internal/obs"
 )
 
 // Handler exposes the service as the wfserve HTTP+JSON API:
@@ -18,6 +19,10 @@ import (
 //	                              canonical wfsim accuracy table
 //	GET    /campaigns/{id}/events server-sent events: per-round progress,
 //	                              then the final status
+//	GET    /campaigns/{id}/trace  the campaign's span timeline as JSON;
+//	                              ?format=text renders a waterfall. Scoped to
+//	                              the submitting tenants like every other
+//	                              campaign route
 //	DELETE /campaigns/{id}        cancel an in-flight campaign — shared by
 //	                              design: coalesced waiters on the same
 //	                              content address all observe the abort and
@@ -47,6 +52,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	return mux
 }
@@ -89,46 +95,72 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "# HELP wfserve_tenant_queue_depth Campaigns waiting per tenant.")
 		fmt.Fprintln(w, "# TYPE wfserve_tenant_queue_depth gauge")
 		for _, ts := range st.Tenants {
-			fmt.Fprintf(w, "wfserve_tenant_queue_depth{tenant=%q} %d\n", ts.Name, ts.QueueDepth)
+			fmt.Fprintf(w, "wfserve_tenant_queue_depth{tenant=\"%s\"} %d\n", obs.EscapeLabel(ts.Name), ts.QueueDepth)
 		}
 		fmt.Fprintln(w, "# HELP wfserve_tenant_jobs_running Campaigns executing per tenant.")
 		fmt.Fprintln(w, "# TYPE wfserve_tenant_jobs_running gauge")
 		for _, ts := range st.Tenants {
-			fmt.Fprintf(w, "wfserve_tenant_jobs_running{tenant=%q} %d\n", ts.Name, ts.Running)
+			fmt.Fprintf(w, "wfserve_tenant_jobs_running{tenant=\"%s\"} %d\n", obs.EscapeLabel(ts.Name), ts.Running)
 		}
 		fmt.Fprintln(w, "# HELP wfserve_tenant_admitted_total Submissions that consumed queue capacity, per tenant.")
 		fmt.Fprintln(w, "# TYPE wfserve_tenant_admitted_total counter")
 		for _, ts := range st.Tenants {
-			fmt.Fprintf(w, "wfserve_tenant_admitted_total{tenant=%q} %d\n", ts.Name, ts.Admitted)
+			fmt.Fprintf(w, "wfserve_tenant_admitted_total{tenant=\"%s\"} %d\n", obs.EscapeLabel(ts.Name), ts.Admitted)
 		}
 		fmt.Fprintln(w, "# HELP wfserve_tenant_rejected_total Submissions refused (queue full or over quota), per tenant.")
 		fmt.Fprintln(w, "# TYPE wfserve_tenant_rejected_total counter")
 		for _, ts := range st.Tenants {
-			fmt.Fprintf(w, "wfserve_tenant_rejected_total{tenant=%q} %d\n", ts.Name, ts.Rejected)
+			fmt.Fprintf(w, "wfserve_tenant_rejected_total{tenant=\"%s\"} %d\n", obs.EscapeLabel(ts.Name), ts.Rejected)
 		}
 		fmt.Fprintln(w, "# HELP wfserve_tenant_served_units_total Campaign work units executed per tenant.")
 		fmt.Fprintln(w, "# TYPE wfserve_tenant_served_units_total counter")
 		for _, ts := range st.Tenants {
-			fmt.Fprintf(w, "wfserve_tenant_served_units_total{tenant=%q} %d\n", ts.Name, ts.ServedUnits)
+			fmt.Fprintf(w, "wfserve_tenant_served_units_total{tenant=\"%s\"} %d\n", obs.EscapeLabel(ts.Name), ts.ServedUnits)
 		}
 	}
-	if st.Workers == nil {
+	if st.Workers != nil {
+		live := 0
+		for _, ws := range st.Workers {
+			if ws.Live {
+				live++
+			}
+		}
+		fmt.Fprintln(w, "# HELP wfserve_workers_live Fleet workers with a fresh heartbeat.")
+		fmt.Fprintln(w, "# TYPE wfserve_workers_live gauge")
+		fmt.Fprintf(w, "wfserve_workers_live %d\n", live)
+		fmt.Fprintln(w, "# HELP wfserve_worker_shards_total Shard results delivered per fleet worker.")
+		fmt.Fprintln(w, "# TYPE wfserve_worker_shards_total counter")
+		for _, ws := range st.Workers {
+			fmt.Fprintf(w, "wfserve_worker_shards_total{worker=\"%s\",id=\"%s\"} %d\n",
+				obs.EscapeLabel(ws.Name), obs.EscapeLabel(ws.ID), ws.Shards)
+		}
+	}
+	s.metrics.Write(w)
+	obs.WriteBuildInfo(w, "wfserve", s.start)
+}
+
+// handleTrace serves a finished or in-flight campaign's span timeline. The
+// recorder is a bounded ring, so old campaigns' traces age out — a 404 here
+// with a 200 on the status route means the trace was evicted (or the job
+// predates this server process), not that the campaign is unknown.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
 		return
 	}
-	live := 0
-	for _, ws := range st.Workers {
-		if ws.Live {
-			live++
-		}
+	tr := s.trace.Lookup(j.Key)
+	if tr == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no trace recorded for campaign %q", j.Key))
+		return
 	}
-	fmt.Fprintln(w, "# HELP wfserve_workers_live Fleet workers with a fresh heartbeat.")
-	fmt.Fprintln(w, "# TYPE wfserve_workers_live gauge")
-	fmt.Fprintf(w, "wfserve_workers_live %d\n", live)
-	fmt.Fprintln(w, "# HELP wfserve_worker_shards_total Shard results delivered per fleet worker.")
-	fmt.Fprintln(w, "# TYPE wfserve_worker_shards_total counter")
-	for _, ws := range st.Workers {
-		fmt.Fprintf(w, "wfserve_worker_shards_total{worker=%q,id=%q} %d\n", ws.Name, ws.ID, ws.Shards)
+	snap := tr.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
 }
 
 // requestAPIKey extracts the caller's API key: "Authorization: Bearer <key>"

@@ -3,8 +3,10 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	winofault "repro"
+	"repro/internal/obs"
 )
 
 // Job is one submitted campaign moving through the queue. Identical
@@ -28,6 +30,20 @@ type Job struct {
 	// submitter plus every coalesced one); it gates who may observe the job
 	// over HTTP. nil means unrestricted (cache-synthesized jobs).
 	viewers map[string]struct{}
+
+	// Observability, all set by Submit before enqueue and read only by the
+	// single runJob goroutine that dequeues the job — no locking needed.
+	// o carries the job's trace and the service metrics into the execution
+	// path (also threaded through j.ctx for the dist/local runners).
+	o obs.Obs
+	// queueSpan is the open queue-wait span; runJob ends it at dequeue.
+	queueSpan *obs.Span
+	// enqueuedAt timestamps admission for the queue-wait and end-to-end
+	// latency histograms. Zero for jobs that never entered the queue.
+	enqueuedAt time.Time
+	// deficit is the tenant's remaining DRR credit observed at dequeue,
+	// stamped by the scheduler for the queue-wait span.
+	deficit int
 
 	mu     sync.Mutex
 	state  string // StateQueued -> StateRunning -> StateDone/StateFailed

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	winofault "repro"
+	"repro/internal/obs"
 )
 
 // Config sizes the campaign service.
@@ -30,9 +32,13 @@ type Config struct {
 	// CacheDir, when non-empty, persists results on disk so cache contents
 	// survive restarts.
 	CacheDir string
-	// Logf receives service events (default log.Printf; set to a no-op in
-	// tests).
-	Logf func(format string, args ...any)
+	// Logger receives service events (default slog.Default(); tests use
+	// slog.DiscardHandler).
+	Logger *slog.Logger
+	// TraceCap bounds how many campaign traces stay queryable via
+	// /campaigns/{id}/trace (default obs.DefaultTraceCap). Memory is
+	// O(campaigns retained), never O(rounds).
+	TraceCap int
 	// Tenants, when set, turns on multi-tenancy: SubmitFor resolves API keys
 	// against it (unknown keys get ErrUnauthorized) and the fair-share
 	// scheduler apportions execution slots by tenant weight. nil leaves the
@@ -113,6 +119,14 @@ type Service struct {
 	cfg   Config
 	cache *Cache
 
+	// trace retains recent campaign span trees for /campaigns/{id}/trace;
+	// metrics is the fixed-bucket histogram set /metrics exposes. Both are
+	// handed to runners through the job context (obs.With), never through
+	// extra parameters.
+	trace   *obs.Recorder
+	metrics *obs.Metrics
+	start   time.Time
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -156,8 +170,8 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheEntries < 1 {
 		cfg.CacheEntries = 256
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
 	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
 	if err != nil {
@@ -167,6 +181,9 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:        cfg,
 		cache:      cache,
+		trace:      obs.NewRecorder(cfg.TraceCap),
+		metrics:    obs.NewMetrics(),
+		start:      time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
@@ -210,7 +227,9 @@ func (s *Service) SubmitFor(req winofault.CampaignRequest, apiKey string) (*Job,
 }
 
 func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error) {
+	vStart := time.Now()
 	key, err := Key(req)
+	vDur := time.Since(vStart)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +237,12 @@ func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error)
 	// repeated request is answered from there (Cached=true) without
 	// consuming queue capacity. This probe may touch disk, so it runs
 	// before taking the service mutex.
-	if data, ok := s.cache.Get(key); ok {
+	pStart := time.Now()
+	data, hit := s.cache.Get(key)
+	pDur := time.Since(pStart)
+	s.metrics.CacheProbe.Observe(pDur.Seconds())
+	if hit {
+		s.traceCacheHit(key, vStart, vDur, pStart, pDur)
 		return cachedJob(key, data), nil
 	}
 	s.mu.Lock()
@@ -229,7 +253,8 @@ func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error)
 	if j, ok := s.jobs[key]; ok {
 		if st := j.Status(); st.State == winofault.StateQueued || st.State == winofault.StateRunning {
 			// Coalesce onto the in-flight execution; the coalescing tenant
-			// becomes a viewer so it can observe the job it now shares.
+			// becomes a viewer so it can observe the job it now shares. The
+			// waiters share the runner's trace — one execution, one timeline.
 			j.addViewer(t.Name)
 			return j, nil
 		}
@@ -240,15 +265,43 @@ func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error)
 	// Re-check memory only (no I/O under the lock): the campaign may have
 	// finished between the disk probe above and taking the mutex.
 	if data, ok := s.cache.getMemory(key); ok {
+		s.traceCacheHit(key, vStart, vDur, pStart, pDur)
 		return cachedJob(key, data), nil
 	}
 	j := newJob(s.baseCtx, key, req, t.Name, clampPriority(req.Priority))
+	// Begin the campaign's timeline: submit-time work recorded
+	// retroactively, then an open queue-wait span that runJob closes when a
+	// worker dequeues the job. The Obs handles ride the job context so the
+	// distributor and local runner record into the same trace.
+	tr := s.trace.Begin(key)
+	tr.Record("validate", vStart, vDur)
+	tr.Record("cache-probe", pStart, pDur, obs.A("hit", false))
+	j.o = obs.Obs{Trace: tr, Metrics: s.metrics}
+	j.ctx = obs.With(j.ctx, j.o)
+	j.queueSpan = tr.Start("queue-wait", obs.A("tenant", t.Name), obs.A("priority", j.priority))
+	j.enqueuedAt = time.Now()
 	if err := s.sched.enqueue(j, t); err != nil {
 		j.cancel() // release the job's context registration on baseCtx
+		j.queueSpan.SetAttr("err", err.Error())
+		j.queueSpan.End()
+		tr.Finish()
 		return nil, err
 	}
 	s.jobs[key] = j
 	return j, nil
+}
+
+// traceCacheHit synthesizes a probe-only trace for a campaign answered
+// straight from the cache — unless a real run already recorded a richer
+// timeline for the key, which a synthetic one must never overwrite.
+func (s *Service) traceCacheHit(key string, vStart time.Time, vDur time.Duration, pStart time.Time, pDur time.Duration) {
+	if s.trace.Lookup(key) != nil {
+		return
+	}
+	tr := s.trace.Begin(key)
+	tr.Record("validate", vStart, vDur)
+	tr.Record("cache-probe", pStart, pDur, obs.A("hit", true))
+	tr.Finish()
 }
 
 // clampPriority folds a request's priority ask into the scheduler's range;
@@ -343,9 +396,19 @@ func (s *Service) worker() {
 }
 
 func (s *Service) runJob(j *Job) {
+	// The queue-wait span opened at submission ends here: the deficit attr is
+	// the tenant's remaining DRR credit stamped at dequeue, so a starved
+	// tenant's waits are attributable to fair-share arithmetic, not guessed.
+	j.queueSpan.SetAttr("deficit", j.deficit)
+	j.queueSpan.End()
+	if !j.enqueuedAt.IsZero() {
+		s.metrics.ObserveQueueWait(j.tenant, time.Since(j.enqueuedAt).Seconds())
+	}
 	j.setRunning()
 	s.inflight.Add(1)
+	execStart := time.Now()
 	data, err := s.runGuarded(j)
+	execDur := time.Since(execStart)
 	s.inflight.Add(-1)
 	if err == nil {
 		if cerr := j.ctx.Err(); cerr != nil {
@@ -357,9 +420,12 @@ func (s *Service) runJob(j *Job) {
 		}
 	}
 	if err == nil {
-		if perr := s.cache.Put(j.Key, data); perr != nil {
+		wStart := time.Now()
+		perr := s.cache.Put(j.Key, data)
+		j.o.Trace.Record("cache-write", wStart, time.Since(wStart), obs.A("bytes", len(data)))
+		if perr != nil {
 			// Persistence failures degrade durability, not the response.
-			s.cfg.Logf("service: %v", perr)
+			s.cfg.Logger.Error("service: cache persist failed", "campaign", shortKey(j.Key), "err", perr)
 		}
 	}
 	// Every outcome below is terminal and client-visible (a success is now
@@ -368,16 +434,32 @@ func (s *Service) runJob(j *Job) {
 	if d, ok := s.cfg.Distributor.(DurableDistributor); ok {
 		d.CampaignDone(j.Key)
 	}
-	s.sched.done(j, j.servedUnits())
+	units := j.servedUnits()
+	s.sched.done(j, units)
+	if err == nil && execDur > 0 && units > 0 {
+		s.metrics.Throughput.Observe(float64(units) / execDur.Seconds())
+	}
+	if !j.enqueuedAt.IsZero() {
+		s.metrics.Campaign.ObserveSince(j.enqueuedAt)
+	}
+	j.o.Trace.Finish()
 	s.mu.Lock()
 	if err != nil {
 		// The failed job stays addressable for status polls but is
 		// retryable: Submit replaces it. Nothing touches the cache.
-		s.cfg.Logf("service: campaign %.12s failed: %v", j.Key, err)
+		s.cfg.Logger.Warn("service: campaign failed", "campaign", shortKey(j.Key), "tenant", j.tenant, "err", err)
 	}
 	s.rememberFinishedLocked(j)
 	s.mu.Unlock()
 	j.finish(data, err)
+}
+
+// shortKey truncates a campaign content address for log attrs.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
 }
 
 // runGuarded executes one campaign on the worker goroutine, converting a
@@ -388,7 +470,8 @@ func (s *Service) runJob(j *Job) {
 func (s *Service) runGuarded(j *Job) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.cfg.Logf("service: campaign %.12s panicked: %v\n%s", j.Key, r, debug.Stack())
+			s.cfg.Logger.Error("service: campaign panicked",
+				"campaign", shortKey(j.Key), "panic", r, "stack", string(debug.Stack()))
 			data, err = nil, fmt.Errorf("service: campaign panicked: %v", r)
 		}
 	}()
@@ -415,8 +498,12 @@ func (s *Service) runCampaign(ctx context.Context, req winofault.CampaignRequest
 			return nil, derr
 		}
 		if !errors.Is(derr, ErrNoWorkers) {
-			s.cfg.Logf("service: distributed campaign %.12s failed (%v); falling back to local execution", key, derr)
+			s.cfg.Logger.Warn("service: distributed campaign failed; falling back to local execution",
+				"campaign", shortKey(key), "err", derr)
 		}
+		// Mark the transition in the timeline: everything after this span is
+		// the local attempt re-running the campaign from unit zero.
+		obs.From(ctx).Trace.Record("dist-fallback", time.Now(), 0, obs.A("err", derr.Error()))
 		// The distributed attempt may already have published batch 0/1
 		// progress; Job.progress is batch-monotonic, so the local re-run
 		// reports under the next attempt's batch numbers or its early
@@ -445,11 +532,17 @@ func (s *Service) runLocal(ctx context.Context, req winofault.CampaignRequest, p
 	if err := sys.SetProtection(req.Protection); err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
 	sys.OnProgress(func(done, total int) { progress(0, done, total) })
+	ph := o.Trace.Start("phase",
+		obs.A("phase", "sweep"), obs.A("path", "local"), obs.A("units", sys.SweepUnits(req.BERs)))
 	pts, err := sys.SweepCtx(ctx, req.BERs)
 	if err != nil {
+		ph.SetAttr("err", err.Error())
+		ph.End()
 		return nil, err
 	}
+	ph.End()
 	res := winofault.CampaignResult{Points: pts}
 	if req.Layers {
 		// The layer-sensitivity phase is a new unit batch; tagging it with
@@ -457,10 +550,15 @@ func (s *Service) runLocal(ctx context.Context, req winofault.CampaignRequest, p
 		// unit total happens to equal the sweep's.
 		sys.OnProgress(func(done, total int) { progress(1, done, total) })
 		mid := req.BERs[len(req.BERs)/2]
+		ph := o.Trace.Start("phase",
+			obs.A("phase", "layers"), obs.A("path", "local"), obs.A("units", sys.LayerUnits(mid)))
 		base, layers, err := sys.LayerSensitivitiesCtx(ctx, mid)
 		if err != nil {
+			ph.SetAttr("err", err.Error())
+			ph.End()
 			return nil, err
 		}
+		ph.End()
 		res.Baseline = base
 		res.Layers = layers
 	}

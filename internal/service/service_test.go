@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ import (
 )
 
 func quiet(cfg Config) Config {
-	cfg.Logf = func(string, ...any) {}
+	cfg.Logger = slog.New(slog.DiscardHandler)
 	return cfg
 }
 

@@ -295,6 +295,10 @@ func (sc *scheduler) dequeueLocked() *Job {
 		}
 		j := tq.pop()
 		tq.credit--
+		// Stamp the post-decrement deficit for the job's queue-wait span.
+		// Safe without j.mu: the dequeuing goroutine is the same one that
+		// will run the job, and nothing else reads j.deficit before then.
+		j.deficit = tq.credit
 		tq.running++
 		sc.queued--
 		if tq.credit <= 0 || tq.queued == 0 {
