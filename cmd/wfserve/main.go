@@ -50,6 +50,9 @@ func main() {
 	lease := flag.Duration("lease", 15*time.Second, "with -dist: worker lease TTL (silent workers lose their shards after this)")
 	shardUnits := flag.Int("shard-units", 0, "with -dist: units per shard (0 = auto, ~2 shards per live worker)")
 	journal := flag.String("journal", "", "with -dist: control-plane journal file; a restarted server resumes in-flight campaigns from it")
+	traceDir := flag.String("trace-dir", "", "durable trace store directory: finished campaign traces survive restarts (empty = memory-only ring)")
+	stragglerFactor := flag.Float64("straggler-factor", 0, "with -dist: flag workers slower than this multiple of the fleet median per-unit exec time (0 = default 3)")
+	stragglerProbation := flag.Duration("straggler-probation", 0, "with -dist: how long a flagged straggler goes lease-less before one probe shard re-measures it (0 = default 10x lease)")
 	keys := flag.String("keys", "", "API key table file: \"<api-key> <tenant> [weight=N] [quota=N]\" per line (empty + WFSERVE_KEYS env unset = open server)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof and runtime /metrics (empty = disabled; bind loopback, never the public address)")
@@ -86,16 +89,19 @@ func main() {
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		TraceDir:     *traceDir,
 		Tenants:      tenants,
 		Logger:       logger,
 	}
 	var coord *dist.Coordinator
 	if *distFlag {
 		ccfg := dist.CoordinatorConfig{
-			LeaseTTL:    *lease,
-			ShardUnits:  *shardUnits,
-			JournalPath: *journal,
-			Logger:      logger,
+			LeaseTTL:           *lease,
+			ShardUnits:         *shardUnits,
+			JournalPath:        *journal,
+			StragglerFactor:    *stragglerFactor,
+			StragglerProbation: *stragglerProbation,
+			Logger:             logger,
 		}
 		if tenants != nil {
 			ccfg.Auth = tenants.Valid

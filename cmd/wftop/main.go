@@ -1,0 +1,276 @@
+// Command wftop is a live terminal dashboard for a wfserve deployment: it
+// polls the server's /metrics and /fleet endpoints and renders queue and
+// cache state, per-tenant fair-share occupancy, campaign latency/throughput
+// and the federated worker table (heartbeat age, shard counts, exec p50/p99,
+// straggler flags) in place — top(1) for the campaign fleet.
+//
+// Usage:
+//
+//	wftop -server localhost:8077            # live, refreshed every 2s
+//	wftop -server localhost:8077 -once      # one snapshot to stdout (CI)
+//
+// Every byte rendered comes from the same public endpoints an operator can
+// curl: /metrics is parsed with the strict exposition parser CI uses
+// (metricscheck), so wftop doubles as a continuous validity check — a
+// malformed page fails the snapshot rather than rendering garbage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	server := flag.String("server", "localhost:8077", "wfserve address")
+	apiKey := flag.String("api-key", os.Getenv("WF_API_KEY"), "API key for a keyed server (default $WF_API_KEY)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen control; CI-friendly)")
+	flag.Parse()
+
+	base := *server
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := &client{base: base, key: *apiKey, hc: &http.Client{Timeout: 10 * time.Second}}
+
+	if *once {
+		if err := render(os.Stdout, cl); err != nil {
+			fmt.Fprintf(os.Stderr, "wftop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		var frame strings.Builder
+		err := render(&frame, cl)
+		// Clear and repaint only once the frame is complete, so a slow poll
+		// never leaves a half-drawn screen.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err != nil {
+			fmt.Printf("wftop: %v (retrying every %s)\n", err, *interval)
+		} else {
+			os.Stdout.WriteString(frame.String())
+		}
+		time.Sleep(*interval)
+	}
+}
+
+type client struct {
+	base string
+	key  string
+	hc   *http.Client
+}
+
+func (c *client) get(path string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	return c.hc.Do(req)
+}
+
+// metrics fetches and strictly validates the server's exposition page.
+func (c *client) metrics() (*obs.Exposition, error) {
+	resp, err := c.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ValidateExposition(resp.Body)
+}
+
+func render(w io.Writer, cl *client) error {
+	exp, err := cl.metrics()
+	if err != nil {
+		return err
+	}
+	now := time.Now().Format(time.RFC3339)
+	fmt.Fprintf(w, "wftop — %s — %s  (uptime %s)\n\n",
+		cl.base, now, fmtDur(gauge(exp, "wfserve_uptime_seconds")))
+
+	fmt.Fprintf(w, "queue %d  inflight %d  draining %s\n",
+		int64(gauge(exp, "wfserve_queue_depth")),
+		int64(gauge(exp, "wfserve_jobs_inflight")),
+		yesNo(gauge(exp, "wfserve_draining") > 0))
+	hits, misses := gauge(exp, "wfserve_cache_hits_total"), gauge(exp, "wfserve_cache_misses_total")
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = 100 * hits / (hits + misses)
+	}
+	fmt.Fprintf(w, "cache %d entries, %s resident, %d hits / %d misses (%.1f%% hit)\n",
+		int64(gauge(exp, "wfserve_cache_entries")),
+		fmtBytes(gauge(exp, "wfserve_cache_resident_bytes")),
+		int64(hits), int64(misses), ratio)
+
+	camp := histogram(exp, "wfserve_campaign_seconds", nil)
+	thr := histogram(exp, "wfserve_campaign_units_per_second", nil)
+	fmt.Fprintf(w, "campaigns %d done  latency p50 %s p99 %s  throughput p50 %.0f units/s\n\n",
+		camp.Count, fmtSecs(camp.Quantile(0.50)), fmtSecs(camp.Quantile(0.99)), thr.Quantile(0.50))
+
+	renderTenants(w, exp)
+
+	resp, err := cl.get("/fleet?format=text")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		io.Copy(w, resp.Body)
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		fmt.Fprintln(w, "fleet: none (server runs without -dist)")
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET /fleet: %s", resp.Status)
+	}
+	return nil
+}
+
+// renderTenants prints the per-tenant fair-share table when the server
+// exposes tenant series (multi-tenant mode).
+func renderTenants(w io.Writer, exp *obs.Exposition) {
+	queued := byTenant(exp, "wfserve_tenant_queue_depth")
+	if len(queued) == 0 {
+		return
+	}
+	running := byTenant(exp, "wfserve_tenant_jobs_running")
+	admitted := byTenant(exp, "wfserve_tenant_admitted_total")
+	rejected := byTenant(exp, "wfserve_tenant_rejected_total")
+	units := byTenant(exp, "wfserve_tenant_served_units_total")
+	names := make([]string, 0, len(queued))
+	for n := range queued {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-16s %6s %7s %9s %9s %12s\n", "TENANT", "QUEUE", "RUNNING", "ADMITTED", "REJECTED", "UNITS")
+	for _, n := range names {
+		fmt.Fprintf(w, "%-16.16s %6d %7d %9d %9d %12d\n",
+			n, int64(queued[n]), int64(running[n]), int64(admitted[n]), int64(rejected[n]), int64(units[n]))
+	}
+	fmt.Fprintln(w)
+}
+
+// gauge returns the value of the named unlabeled sample (0 when absent).
+func gauge(exp *obs.Exposition, name string) float64 {
+	for _, s := range exp.Find(name) {
+		if len(s.Labels) == 0 {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// byTenant collects a family's samples keyed by their tenant label.
+func byTenant(exp *obs.Exposition, name string) map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range exp.Find(name) {
+		if t, ok := s.Labels["tenant"]; ok {
+			out[t] = s.Value
+		}
+	}
+	return out
+}
+
+// histogram reconstructs an obs.HistogramSnapshot from a family's cumulative
+// _bucket samples (filtered to label sets matching want, ignoring le), so
+// quantile estimates reuse the same interpolation the server uses.
+func histogram(exp *obs.Exposition, fam string, want map[string]string) obs.HistogramSnapshot {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var bkts []bkt
+	var sum float64
+	for _, s := range exp.Samples {
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		switch s.Name {
+		case fam + "_bucket":
+			le := math.Inf(1)
+			if raw := s.Labels["le"]; raw != "+Inf" {
+				fmt.Sscanf(raw, "%g", &le)
+			}
+			bkts = append(bkts, bkt{le: le, cum: s.Value})
+		case fam + "_sum":
+			sum = s.Value
+		}
+	}
+	if len(bkts) == 0 {
+		return obs.HistogramSnapshot{}
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	snap := obs.HistogramSnapshot{Sum: sum}
+	prev := 0.0
+	for _, b := range bkts {
+		if !math.IsInf(b.le, 1) {
+			snap.Bounds = append(snap.Bounds, b.le)
+		}
+		snap.Counts = append(snap.Counts, int64(b.cum-prev))
+		prev = b.cum
+	}
+	for _, c := range snap.Counts {
+		snap.Count += c
+	}
+	return snap
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func fmtDur(s float64) string {
+	return (time.Duration(s) * time.Second).String()
+}
+
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

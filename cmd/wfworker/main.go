@@ -38,6 +38,7 @@ func main() {
 	apiKey := flag.String("api-key", os.Getenv("WF_API_KEY"), "API key for a coordinator running with -keys (default $WF_API_KEY)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	debugAddr := flag.String("debug-addr", "", "private listener for /debug/pprof and /metrics (empty = disabled; bind loopback)")
+	execDelay := flag.Duration("exec-delay", 0, "artificial per-shard execution delay for testing straggler detection (never use in production)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat)
@@ -60,12 +61,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := dist.RunWorker(ctx, dist.WorkerConfig{
-		Server:  *server,
-		Name:    *name,
-		Workers: *workers,
-		APIKey:  *apiKey,
-		Logger:  logger,
-		Metrics: metrics,
+		Server:    *server,
+		Name:      *name,
+		Workers:   *workers,
+		APIKey:    *apiKey,
+		Logger:    logger,
+		Metrics:   metrics,
+		ExecDelay: *execDelay,
 	}); err != nil && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "wfworker: %v\n", err)
 		os.Exit(1)

@@ -48,6 +48,17 @@ type CoordinatorConfig struct {
 	// worker table at that instant would discard the journaled shard merges
 	// in favor of a full local recompute. Fresh campaigns never wait.
 	RecoveryGrace time.Duration
+	// StragglerFactor flags a worker as a straggler once its per-unit shard
+	// execution EWMA exceeds this multiple of the fleet's median (default 3;
+	// requires at least two live measured workers). Flagged workers stop
+	// receiving leases while a healthy worker is live, so one slow node
+	// stretches at most the shards it already holds, not the campaign tail.
+	StragglerFactor float64
+	// StragglerProbation is how long a flagged worker goes lease-less before
+	// it is granted one probe shard to re-measure itself (default 10×
+	// LeaseTTL). Without probation a node that was slow once — a transient
+	// noisy neighbor — would be benched forever.
+	StragglerProbation time.Duration
 	// Auth, when set, gates every worker-facing endpoint: a request whose
 	// API key it rejects gets a 401 instead of joining the fleet. nil leaves
 	// the fleet API open (single-lab mode).
@@ -89,7 +100,28 @@ type workerState struct {
 	id, name string
 	lastSeen time.Time
 	shards   int64 // completed shard results (metrics)
+	// snap is the node's last heartbeat metric snapshot (metric federation);
+	// nil until an instrumented worker heartbeats.
+	snap   *MetricsSnapshot
+	snapAt time.Time
+	// unitEWMA tracks exec seconds per unit over this worker's merged shards
+	// (exponentially weighted, stragglerAlpha); samples counts contributions.
+	unitEWMA float64
+	samples  int
+	// straggler marks a worker slower than StragglerFactor× the fleet median;
+	// flaggedAt feeds the probation clock.
+	straggler bool
+	flaggedAt time.Time
 }
+
+// stragglerAlpha weights the newest per-unit execution sample in the EWMA.
+// 0.3 adapts within a few shards without letting one noisy shard flip flags.
+const stragglerAlpha = 0.3
+
+// stragglerMinGap is an absolute per-unit floor (seconds) a worker's EWMA
+// must exceed the median by before flagging: when the whole fleet executes
+// units in microseconds, ratios alone are dominated by scheduling noise.
+const stragglerMinGap = 100e-6
 
 // shard is one dispatchable unit range of a running campaign phase.
 type shard struct {
@@ -136,6 +168,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	if cfg.RecoveryGrace <= 0 {
 		cfg.RecoveryGrace = cfg.LeaseTTL
+	}
+	if cfg.StragglerFactor <= 1 {
+		cfg.StragglerFactor = 3
+	}
+	if cfg.StragglerProbation <= 0 {
+		cfg.StragglerProbation = 10 * cfg.LeaseTTL
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
@@ -269,6 +307,100 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 	return n
 }
 
+// healthyLiveLocked reports whether a live, un-flagged worker other than w
+// exists — the condition under which benching w costs the fleet nothing.
+func (c *Coordinator) healthyLiveLocked(w *workerState, now time.Time) bool {
+	for _, other := range c.workers {
+		if other != w && !other.straggler && c.liveLocked(other, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// fleetMedianLocked is the lower median of live, measured workers' per-unit
+// exec EWMAs (0 with nothing measured). Lower median on purpose: with two
+// workers it is the faster one, so a two-node fleet can still flag its slow
+// half instead of comparing the straggler against itself.
+func (c *Coordinator) fleetMedianLocked(now time.Time) (float64, int) {
+	ewmas := make([]float64, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.samples > 0 && c.liveLocked(w, now) {
+			ewmas = append(ewmas, w.unitEWMA)
+		}
+	}
+	if len(ewmas) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(ewmas)
+	return ewmas[(len(ewmas)-1)/2], len(ewmas)
+}
+
+// recomputeStragglersLocked re-evaluates every measured worker against the
+// fleet median. Fewer than two live measured workers clears all flags: a
+// lone worker has no fleet to be slower than.
+func (c *Coordinator) recomputeStragglersLocked(now time.Time) {
+	median, measured := c.fleetMedianLocked(now)
+	for _, w := range c.workers {
+		if w.samples == 0 {
+			continue
+		}
+		flag := measured >= 2 &&
+			w.unitEWMA > c.cfg.StragglerFactor*median &&
+			w.unitEWMA > median+stragglerMinGap
+		if flag && !w.straggler {
+			w.flaggedAt = now
+			c.cfg.Logger.Warn("dist: worker flagged as straggler; deprioritizing leases",
+				"worker", w.id, "name", w.name,
+				"unitSeconds", w.unitEWMA, "fleetMedian", median, "factor", c.cfg.StragglerFactor)
+		} else if !flag && w.straggler {
+			c.cfg.Logger.Info("dist: worker recovered from straggler flag",
+				"worker", w.id, "name", w.name, "unitSeconds", w.unitEWMA, "fleetMedian", median)
+		}
+		w.straggler = flag
+	}
+}
+
+// Fleet reports the federated per-worker view for GET /fleet and the
+// wffleet_* series on /metrics (service.FleetReporter): coordinator-side
+// liveness, shard counts and straggler flags joined with each node's last
+// heartbeat snapshot.
+func (c *Coordinator) Fleet() service.FleetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	median, _ := c.fleetMedianLocked(now)
+	fs := service.FleetStatus{
+		Epoch:             c.epoch,
+		StragglerFactor:   c.cfg.StragglerFactor,
+		MedianUnitSeconds: median,
+		Workers:           make([]service.FleetWorker, 0, len(c.workers)),
+	}
+	for _, w := range c.workers {
+		fw := service.FleetWorker{
+			ID:            w.id,
+			Name:          w.name,
+			Epoch:         c.epoch,
+			Live:          c.liveLocked(w, now),
+			Straggler:     w.straggler,
+			Shards:        w.shards,
+			LastHeartbeat: now.Sub(w.lastSeen).Seconds(),
+			UnitSeconds:   w.unitEWMA,
+		}
+		if w.snap != nil {
+			fw.Inflight = w.snap.Inflight
+			fw.Goroutines = w.snap.Goroutines
+			fw.HeapBytes = w.snap.HeapBytes
+			fw.Exec = w.snap.Exec
+			fw.P50 = fw.Exec.Quantile(0.50)
+			fw.P99 = fw.Exec.Quantile(0.99)
+		}
+		fs.Workers = append(fs.Workers, fw)
+	}
+	sort.Slice(fs.Workers, func(i, j int) bool { return fs.Workers[i].ID < fs.Workers[j].ID })
+	return fs
+}
+
 // Run executes one campaign across the fleet (service.Distributor): shard
 // the sweep batch, merge counts, reduce; then the same for the
 // layer-sensitivity batch when requested. The returned bytes are
@@ -283,9 +415,12 @@ func (c *Coordinator) Run(ctx context.Context, key string, req winofault.Campaig
 	cs, ok := c.registry[key]
 	if !ok {
 		reqCopy := req
-		cs = &campaignState{req: reqCopy, phases: map[int][]shardRange{}}
+		// The record carries this incarnation's epoch so a recovered
+		// campaign's trace can link the prior incarnation's trace (shard
+		// span epochs) across the restart.
+		cs = &campaignState{req: reqCopy, phases: map[int][]shardRange{}, epoch: c.epoch}
 		c.registry[key] = cs
-		c.jrnl.append(journalRecord{T: recCampaign, Key: key, Req: &reqCopy})
+		c.jrnl.append(journalRecord{T: recCampaign, Key: key, Req: &reqCopy, Epoch: c.epoch})
 		c.compactIfNeededLocked()
 	}
 	recovered := cs.recovered
@@ -408,7 +543,11 @@ func (c *Coordinator) runPhase(ctx context.Context, o obs.Obs, ph *obs.Span, key
 	// wall-clock time, never bytes. Only the uncovered gaps are sharded.
 	covered := make([]bool, total)
 	prefilled := 0
+	prevEpoch := ""
 	if cs := c.registry[key]; cs != nil {
+		if cs.recovered && cs.epoch != "" && cs.epoch != c.epoch {
+			prevEpoch = cs.epoch
+		}
 		kept := cs.phases[phase][:0]
 		for _, r := range cs.phases[phase] {
 			if r.lo < 0 || r.hi > total || len(r.counts) != r.hi-r.lo {
@@ -433,7 +572,7 @@ func (c *Coordinator) runPhase(ctx context.Context, o obs.Obs, ph *obs.Span, key
 		// live-worker check below would only get in the way.
 		c.mu.Unlock()
 		ph.Record("journal-recovery", recStart, time.Since(recStart),
-			obs.A("units", prefilled), obs.A("epoch", c.epoch))
+			recoveryAttrs(prefilled, c.epoch, prevEpoch)...)
 		c.cfg.Logger.Info("dist: all units recovered from journal",
 			"campaign", short(key), "phase", phase, "units", total)
 		return run.counts, nil
@@ -483,7 +622,7 @@ func (c *Coordinator) runPhase(ctx context.Context, o obs.Obs, ph *obs.Span, key
 	c.mu.Unlock()
 	if prefilled > 0 {
 		ph.Record("journal-recovery", recStart, time.Since(recStart),
-			obs.A("units", prefilled), obs.A("epoch", c.epoch))
+			recoveryAttrs(prefilled, c.epoch, prevEpoch)...)
 		c.cfg.Logger.Info("dist: resuming: units recovered from journal",
 			"campaign", short(key), "phase", phase, "recovered", prefilled, "total", total,
 			"remaining", total-prefilled, "shards", shards)
@@ -506,6 +645,18 @@ func (c *Coordinator) runPhase(ctx context.Context, o obs.Obs, ph *obs.Span, key
 		c.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// recoveryAttrs builds the journal-recovery span's attributes. prevEpoch,
+// when known, links this recovered timeline to the prior incarnation's trace:
+// that trace's shard spans carry the same epoch value, so an operator can
+// join the two halves of the campaign across the restart.
+func recoveryAttrs(units int, epoch, prevEpoch string) []obs.Attr {
+	attrs := []obs.Attr{obs.A("units", units), obs.A("epoch", epoch)}
+	if prevEpoch != "" {
+		attrs = append(attrs, obs.A("prevEpoch", prevEpoch))
+	}
+	return attrs
 }
 
 // finishRunLocked resolves a run exactly once and strips its shards from the
@@ -565,21 +716,37 @@ func (c *Coordinator) touchLocked(w *workerState, now time.Time) {
 	}
 }
 
-// heartbeat keeps a worker (and its leases) alive. Unknown IDs report false
-// so the worker re-registers — the coordinator may have restarted.
-func (c *Coordinator) heartbeat(workerID string) bool {
+// heartbeat keeps a worker (and its leases) alive and absorbs its federated
+// metric snapshot when one rides along (older workers post empty bodies).
+// Unknown IDs report false so the worker re-registers — the coordinator may
+// have restarted.
+func (c *Coordinator) heartbeat(workerID string, snap *MetricsSnapshot) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w, ok := c.workers[workerID]
 	if !ok {
 		return false
 	}
-	c.touchLocked(w, time.Now())
+	now := time.Now()
+	c.touchLocked(w, now)
+	if snap != nil {
+		// The snapshot crossed the network: validate the histogram layout
+		// before it can reach the exposition writer (a short Counts slice
+		// would panic it, a cooked one would fail metricscheck for everyone).
+		if len(snap.Exec.Bounds) > 0 && !snap.Exec.Valid() {
+			snap.Exec = obs.HistogramSnapshot{}
+		}
+		w.snap = snap
+		w.snapAt = now
+	}
 	return true
 }
 
 // lease hands the oldest pending shard to a worker, or nil when the queue is
-// empty. Leasing (like any contact) refreshes the worker's liveness.
+// empty. Leasing (like any contact) refreshes the worker's liveness. A
+// flagged straggler is deprioritized: while a healthy worker is live it gets
+// no work (the healthy fleet drains the queue instead), until its probation
+// lapses and it earns one probe shard to re-measure itself.
 func (c *Coordinator) lease(workerID string) (*ShardTask, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -591,6 +758,14 @@ func (c *Coordinator) lease(workerID string) (*ShardTask, error) {
 	c.touchLocked(w, now)
 	if len(c.pending) == 0 {
 		return nil, nil
+	}
+	if w.straggler && c.healthyLiveLocked(w, now) {
+		if now.Sub(w.flaggedAt) < c.cfg.StragglerProbation {
+			return nil, nil // idle answer; the healthy fleet takes the shard
+		}
+		// Probation probe: grant one lease and restart the clock. The merge
+		// re-measures the worker; a recovered node un-flags itself.
+		w.flaggedAt = now
 	}
 	sh := c.pending[0]
 	c.pending = c.pending[1:]
@@ -660,11 +835,29 @@ func (c *Coordinator) result(workerID string, res ShardResult) {
 		c.jrnl.append(journalRecord{T: recShard, Key: sh.task.Key, Phase: sh.task.Phase, Lo: sh.task.Lo, Hi: sh.task.Hi, Counts: merged})
 		c.compactIfNeededLocked()
 	}
+	units := sh.task.Hi - sh.task.Lo
+	exec := time.Duration(res.ExecNanos)
+	straggler := false
 	if w != nil {
 		w.shards++
+		// Feed the straggler detector: exec seconds per unit, exponentially
+		// weighted so the flag follows the worker's current speed, not its
+		// history. Recomputing fleet flags here (under mu, per merge) is
+		// O(workers) on a campaign-granular path — noise next to the shard.
+		if exec > 0 && units > 0 {
+			per := exec.Seconds() / float64(units)
+			if w.samples == 0 {
+				w.unitEWMA = per
+			} else {
+				w.unitEWMA = stragglerAlpha*per + (1-stragglerAlpha)*w.unitEWMA
+			}
+			w.samples++
+			c.recomputeStragglersLocked(now)
+		}
+		straggler = w.straggler
 	}
 	run.remaining--
-	run.doneUnits += sh.task.Hi - sh.task.Lo
+	run.doneUnits += units
 	doneUnits, total := run.doneUnits, run.total
 	progress := run.progress
 	if run.remaining == 0 {
@@ -676,11 +869,15 @@ func (c *Coordinator) result(workerID string, res ShardResult) {
 	// lease-to-merge on the coordinator's clock, with the worker's own
 	// execution time attached as a duration (immune to clock skew). Shard IDs
 	// are epoch-stamped, so traces distinguish pre- and post-restart work.
-	exec := time.Duration(res.ExecNanos)
-	run.span.Record("shard", leaseAt, now.Sub(leaseAt),
+	attrs := []obs.Attr{
 		obs.A("shard", res.Task), obs.A("worker", workerID), obs.A("epoch", c.epoch),
 		obs.A("lo", sh.task.Lo), obs.A("hi", sh.task.Hi),
-		obs.A("exec", exec), obs.A("attempt", attempt))
+		obs.A("exec", exec), obs.A("attempt", attempt),
+	}
+	if straggler {
+		attrs = append(attrs, obs.A("straggler", true))
+	}
+	run.span.Record("shard", leaseAt, now.Sub(leaseAt), attrs...)
 	if run.o.Metrics != nil && exec > 0 {
 		run.o.Metrics.ShardExec.Observe(exec.Seconds())
 	}

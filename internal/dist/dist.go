@@ -22,6 +22,7 @@ package dist
 
 import (
 	winofault "repro"
+	"repro/internal/obs"
 )
 
 // Campaign phases a shard task can belong to. A campaign request yields one
@@ -47,6 +48,31 @@ type registerResponse struct {
 	ID          string `json:"id"`
 	LeaseMillis int64  `json:"leaseMillis"`
 	PollMillis  int64  `json:"pollMillis"`
+}
+
+// MetricsSnapshot is the compact per-node metric set a worker ships inside
+// each heartbeat (metric federation): the coordinator merges the fleet's
+// snapshots into per-worker wffleet_* series on /metrics and the /fleet
+// endpoint, so an operator scrapes one address instead of every node's
+// private -debug-addr.
+type MetricsSnapshot struct {
+	// Shards counts completed shard executions (including failures).
+	Shards int64 `json:"shards"`
+	// Inflight is the number of shards currently executing (0 or 1 today —
+	// the lease loop is serial — but the wire form doesn't assume that).
+	Inflight int64 `json:"inflight"`
+	// Goroutines and HeapBytes are the node's runtime health gauges.
+	Goroutines int    `json:"goroutines"`
+	HeapBytes  uint64 `json:"heapBytes"`
+	// Exec is the node's shard execution latency histogram. Bounds ride along
+	// so the coordinator can validate the layout before merging.
+	Exec obs.HistogramSnapshot `json:"exec"`
+}
+
+// heartbeatRequest is the (optional) body of POST /workers/{id}/heartbeat.
+// Older workers post an empty body; the snapshot is additive.
+type heartbeatRequest struct {
+	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // ShardTask is one leased unit range of a campaign phase. The worker

@@ -94,7 +94,15 @@ func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	if !c.heartbeat(r.PathValue("id")) {
+	// The body is optional: instrumented workers ship a metric snapshot
+	// (federation), older workers post nothing. An unparseable body is
+	// tolerated as snapshotless rather than rejected — a heartbeat's first
+	// job is keeping the worker alive.
+	var hb heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		hb.Metrics = nil
+	}
+	if !c.heartbeat(r.PathValue("id"), hb.Metrics) {
 		distError(w, http.StatusNotFound, errUnknownWorker)
 		return
 	}

@@ -54,6 +54,10 @@ type journalRecord struct {
 	Lo     int                        `json:"lo,omitempty"`
 	Hi     int                        `json:"hi,omitempty"`
 	Counts []int                      `json:"counts,omitempty"`
+	// Epoch (campaign records only) is the coordinator incarnation that
+	// registered the campaign; recovery traces use it to link the prior
+	// incarnation's trace across a restart.
+	Epoch string `json:"epoch,omitempty"`
 }
 
 // shardRange is one journaled merged range of a phase's unit space.
@@ -67,6 +71,9 @@ type shardRange struct {
 type campaignState struct {
 	req    winofault.CampaignRequest
 	phases map[int][]shardRange
+	// epoch is the coordinator incarnation that registered the campaign (the
+	// prior incarnation's, for recovered entries).
+	epoch string
 	// recovered marks entries replayed from a previous incarnation's journal:
 	// their Run waits the recovery grace for workers to re-register instead
 	// of falling back to local execution on an empty worker table.
@@ -154,7 +161,7 @@ func replayRecord(registry map[string]*campaignState, rec journalRecord, lg *slo
 			return
 		}
 		if _, ok := registry[rec.Key]; !ok {
-			registry[rec.Key] = &campaignState{req: *rec.Req, phases: map[int][]shardRange{}}
+			registry[rec.Key] = &campaignState{req: *rec.Req, phases: map[int][]shardRange{}, epoch: rec.Epoch}
 		}
 	case recShard:
 		cs, ok := registry[rec.Key]
@@ -321,7 +328,7 @@ func snapshotRecords(registry map[string]*campaignState) []journalRecord {
 	for _, k := range keys {
 		cs := registry[k]
 		req := cs.req
-		recs = append(recs, journalRecord{T: recCampaign, Key: k, Req: &req})
+		recs = append(recs, journalRecord{T: recCampaign, Key: k, Req: &req, Epoch: cs.epoch})
 		phases := make([]int, 0, len(cs.phases))
 		for p := range cs.phases {
 			phases = append(phases, p)

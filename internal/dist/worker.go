@@ -31,8 +31,15 @@ type WorkerConfig struct {
 	// Logger receives worker events (default slog.Default()).
 	Logger *slog.Logger
 	// Metrics, when set, collects shard throughput/latency for the worker's
-	// debug listener. nil records nothing.
+	// debug listener and is snapshotted into every heartbeat (metric
+	// federation). nil records nothing and heartbeats stay bodyless.
 	Metrics *WorkerMetrics
+	// ExecDelay artificially stretches every shard execution by sleeping
+	// inside the timed section. It exists for testing the coordinator's
+	// straggler detection (CI starts one deliberately slow node); production
+	// workers leave it zero. Determinism is untouched — the delay changes
+	// wall-clock time, never counts.
+	ExecDelay time.Duration
 }
 
 // RunWorker joins the fleet at cfg.Server and processes shard leases until
@@ -213,8 +220,15 @@ func (w *fleetWorker) leaseLoop(ctx context.Context) error {
 			// not transport) and ship the duration back in the result: the
 			// coordinator stitches it into the campaign trace without the two
 			// clocks ever having to agree on absolute time.
+			w.cfg.Metrics.shardStarted()
 			execStart := time.Now()
 			res := w.execute(ctx, task)
+			if w.cfg.ExecDelay > 0 {
+				// Inside the timed section on purpose: the delay must show up
+				// in ExecNanos and the exec histogram, exactly like a genuinely
+				// slow node's extra wall time would.
+				sleepCtx(ctx, w.cfg.ExecDelay)
+			}
 			exec := time.Since(execStart)
 			res.ExecNanos = exec.Nanoseconds()
 			w.cfg.Metrics.observeShard(exec)
@@ -241,7 +255,15 @@ func (w *fleetWorker) heartbeatLoop(ctx context.Context, stop <-chan struct{}) {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			w.postJSON(ctx, "/workers/"+w.id+"/heartbeat", nil, nil)
+			// The heartbeat doubles as the federation channel: it carries the
+			// node's metric snapshot so the coordinator can expose per-worker
+			// series without ever dialing workers. A nil Metrics keeps the
+			// body empty (the coordinator tolerates both).
+			var body any
+			if snap := w.cfg.Metrics.Snapshot(); snap != nil {
+				body = heartbeatRequest{Metrics: snap}
+			}
+			w.postJSON(ctx, "/workers/"+w.id+"/heartbeat", body, nil)
 		}
 	}
 }

@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotConcurrentObserve: snapshots taken while observers are
+// running must stay internally consistent — the +Inf cumulative bucket equal
+// to _count — because federated snapshots are re-validated (and re-rendered)
+// on the coordinator, where a torn read would fail exposition validation for
+// the whole fleet page.
+func TestHistogramSnapshotConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ProbeBuckets)
+	const observers, perObserver = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < observers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perObserver; i++ {
+				h.Observe(float64(g*perObserver+i) * 1e-6)
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(stop) }()
+	snaps := 0
+	for {
+		select {
+		case <-stop:
+		default:
+			s := h.Snapshot()
+			if !s.Valid() {
+				t.Fatalf("mid-flight snapshot invalid: count %d vs bucket sum", s.Count)
+			}
+			snaps++
+			continue
+		}
+		break
+	}
+	if snaps == 0 {
+		t.Fatal("no snapshot raced an observer")
+	}
+	final := h.Snapshot()
+	if want := int64(observers * perObserver); final.Count != want {
+		t.Fatalf("final snapshot count %d, want %d", final.Count, want)
+	}
+	if final.Count != h.Count() {
+		t.Fatalf("snapshot count %d disagrees with histogram count %d", final.Count, h.Count())
+	}
+}
+
+// TestHistogramSnapshotMerge: merging accumulates matching layouts, adopts a
+// layout into an empty snapshot, and refuses to mis-bin mismatched ones.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a := NewHistogram(DurationBuckets)
+	b := NewHistogram(DurationBuckets)
+	for i := 0; i < 10; i++ {
+		a.Observe(0.002)
+		b.Observe(3.0)
+	}
+	var merged HistogramSnapshot
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+	if !merged.Valid() {
+		t.Fatal("merged snapshot invalid")
+	}
+	if merged.Count != 20 {
+		t.Fatalf("merged count %d, want 20", merged.Count)
+	}
+	if want := 10*0.002 + 10*3.0; math.Abs(merged.Sum-want) > 1e-9 {
+		t.Fatalf("merged sum %g, want %g", merged.Sum, want)
+	}
+
+	// A snapshot with different bounds must be ignored, not mis-binned.
+	other := NewHistogram(ProbeBuckets)
+	other.Observe(0.1)
+	merged.Merge(other.Snapshot())
+	if merged.Count != 20 {
+		t.Fatalf("mismatched layout merged anyway: count %d", merged.Count)
+	}
+}
+
+// TestHistogramSnapshotQuantile: the interpolated estimate lands inside the
+// containing bucket, an empty snapshot reports 0, and overflow samples clamp
+// to the largest finite bound.
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all samples in the (1,2] bucket
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 1 || q > 2 {
+		t.Fatalf("p50 %g outside the containing bucket (1,2]", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty snapshot p50 %g, want 0", q)
+	}
+	over := NewHistogram([]float64{1, 2})
+	over.Observe(100) // +Inf bucket
+	if q := over.Snapshot().Quantile(0.99); q != 2 {
+		t.Fatalf("overflow p99 %g, want largest finite bound 2", q)
+	}
+}
+
+// TestHistogramSnapshotValidRejects: structurally broken snapshots (the kind
+// a hostile or buggy worker could ship in a heartbeat) must fail validation.
+func TestHistogramSnapshotValidRejects(t *testing.T) {
+	good := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{1, 2, 3}, Sum: 4, Count: 6}
+	if !good.Valid() {
+		t.Fatal("well-formed snapshot rejected")
+	}
+	bad := []HistogramSnapshot{
+		{},
+		{Bounds: []float64{1, 2}, Counts: []int64{1, 2}, Count: 3},     // missing overflow bucket
+		{Bounds: []float64{2, 1}, Counts: []int64{1, 2, 3}, Count: 6},  // descending bounds
+		{Bounds: []float64{1, 2}, Counts: []int64{1, -2, 3}, Count: 2}, // negative bucket
+		{Bounds: []float64{1, 2}, Counts: []int64{1, 2, 3}, Count: 7},  // count disagrees
+		{Bounds: []float64{1, 1}, Counts: []int64{1, 2, 3}, Count: 6},  // duplicate bound
+	}
+	for i, s := range bad {
+		if s.Valid() {
+			t.Errorf("malformed snapshot %d passed validation: %+v", i, s)
+		}
+	}
+}
+
+// TestHistogramSnapshotWriteSamples: the snapshot renderer produces the same
+// strict exposition form the live histogram writer does, including escaped
+// hostile label values — the federation path for wffleet_shard_exec_seconds.
+func TestHistogramSnapshotWriteSamples(t *testing.T) {
+	h := NewHistogram(DurationBuckets)
+	h.Observe(0.01)
+	h.Observe(2)
+	snap := h.Snapshot()
+
+	hostile := "node\nwith \"quotes\" and \\slashes\\ and 蜂"
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "# HELP wffleet_shard_exec_seconds test family")
+	fmt.Fprintln(&buf, "# TYPE wffleet_shard_exec_seconds histogram")
+	snap.WriteSamples(&buf, "wffleet_shard_exec_seconds", Attr{K: "worker", V: hostile}, Attr{K: "id", V: "w-1"})
+	snap.WriteSamples(&buf, "wffleet_shard_exec_seconds", Attr{K: "worker", V: "plain"}, Attr{K: "id", V: "w-2"})
+
+	exp, err := ValidateExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("snapshot exposition failed strict validation: %v\n%s", err, buf.String())
+	}
+	found := false
+	for _, s := range exp.Find("wffleet_shard_exec_seconds_count") {
+		if s.Labels["worker"] == hostile {
+			found = true
+			if s.Value != float64(snap.Count) {
+				t.Errorf("_count %g, want %d", s.Value, snap.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hostile worker label did not round-trip through the escaper")
+	}
+}
+
+// TestRecorderPinsInflightTraces is the regression pin for the eviction bug:
+// a full ring of finished cache-hit probe traces must never evict a running
+// campaign's trace mid-execution. Uses the default 512-cap ring, per the bug.
+func TestRecorderPinsInflightTraces(t *testing.T) {
+	r := NewRecorder(0) // DefaultTraceCap
+	live := r.Begin("liveliveliveaaa")
+	live.Start("phase", A("phase", "sweep"))
+
+	for i := 0; i < DefaultTraceCap+50; i++ {
+		probe := r.Begin(fmt.Sprintf("probe%08d", i))
+		probe.Record("cache-probe", time.Now(), time.Microsecond, A("hit", true))
+		probe.Finish()
+	}
+	got := r.Lookup("liveliveliveaaa")
+	if got == nil {
+		t.Fatal("in-flight campaign trace evicted by probe flood")
+	}
+	if got != live {
+		t.Fatal("in-flight trace replaced rather than pinned")
+	}
+	if n := r.Len(); n != DefaultTraceCap {
+		t.Fatalf("ring holds %d traces after flood, want %d", n, DefaultTraceCap)
+	}
+
+	// Once finished, the formerly-pinned trace becomes evictable again.
+	live.Finish()
+	for i := 0; i < DefaultTraceCap+1; i++ {
+		tr := r.Begin(fmt.Sprintf("flood%08d", i))
+		tr.Finish()
+	}
+	if r.Lookup("liveliveliveaaa") != nil {
+		t.Fatal("finished trace survived a full ring of newer traces")
+	}
+}
+
+// TestRecorderAllInflightExceedsCapTransiently: when everything is pinned the
+// ring grows past max instead of evicting running campaigns, and shrinks back
+// once traces finish.
+func TestRecorderAllInflightExceedsCapTransiently(t *testing.T) {
+	r := NewRecorder(2)
+	keys := []string{"aaa1", "bbb2", "ccc3", "ddd4"}
+	for _, k := range keys {
+		r.Begin(k)
+	}
+	if n := r.Len(); n != 4 {
+		t.Fatalf("ring evicted an in-flight trace: len %d, want 4", n)
+	}
+	for _, k := range keys {
+		r.Lookup(k).Finish()
+	}
+	r.Begin("eee5").Finish()
+	if n := r.Len(); n != 2 {
+		t.Fatalf("ring did not shrink back to cap: len %d, want 2", n)
+	}
+}
+
+// traceFixture builds a finished trace with a realistic span tree.
+func traceFixture(key string) *Trace {
+	tr := &Trace{key: key, epoch: time.Now()}
+	ph := tr.Start("phase", A("phase", "sweep"), A("path", "dist"))
+	ph.Record("shard", time.Now(), 3*time.Millisecond, A("worker", "w-1"), A("lo", 0), A("hi", 4))
+	ph.Record("merge", time.Now(), time.Millisecond)
+	ph.End()
+	tr.Finish()
+	return tr
+}
+
+// TestTraceStoreRoundTripByteIdentical: a spilled trace read back from disk
+// renders byte-identically to the in-memory snapshot — the property the
+// chaos-recovery CI tier asserts across a real wfserve restart.
+func TestTraceStoreRoundTripByteIdentical(t *testing.T) {
+	st, err := NewTraceStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef0123456789abcdef"
+	snap := traceFixture(key).Snapshot()
+	if err := st.Put(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(key) {
+		t.Fatal("Has misses a stored trace")
+	}
+	got, ok := st.Get(key)
+	if !ok {
+		t.Fatal("Get misses a stored trace")
+	}
+	var want, have bytes.Buffer
+	if err := snap.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&have); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatalf("disk round-trip changed the rendered trace:\nmem:  %s\ndisk: %s", want.String(), have.String())
+	}
+	if !got.Complete || len(got.Spans) != 1 || len(got.Spans[0].Children) != 2 {
+		t.Fatalf("span tree mangled: %+v", got.Spans)
+	}
+}
+
+// TestTraceStoreRejectsHostileKeys: keys are file names; anything that is not
+// a lowercase-hex content address is refused before touching the filesystem.
+func TestTraceStoreRejectsHostileKeys(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewTraceStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "../../etc/passwd", "ABCDEF", "abc/def", "abc.def",
+		strings.Repeat("a", 129), "abc\x00def", "..",
+	} {
+		if err := st.Put(TraceSnapshot{Campaign: key}); err == nil {
+			t.Errorf("Put accepted hostile key %q", key)
+		}
+		if _, ok := st.Get(key); ok {
+			t.Errorf("Get resolved hostile key %q", key)
+		}
+		if st.Has(key) {
+			t.Errorf("Has resolved hostile key %q", key)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("hostile keys left droppings: %v", entries)
+	}
+}
+
+// TestTraceStorePrunes: the store holds at most max traces, evicting the
+// oldest-modified files.
+func TestTraceStorePrunes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewTraceStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%032d", i)
+		if err := st.Put(traceFixture(keys[i]).Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		// Separate modtimes explicitly: filesystem timestamp granularity must
+		// not make eviction order ambiguous.
+		mod := time.Now().Add(time.Duration(i-len(keys)) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, keys[i]+".trace"), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more Put triggers the prune over the aged set.
+	last := "f000000000000000000000000000000f"
+	if err := st.Put(traceFixture(last).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Len(); n != 3 {
+		t.Fatalf("store holds %d traces, want 3", n)
+	}
+	if !st.Has(last) {
+		t.Fatal("newest trace pruned")
+	}
+	if st.Has(keys[0]) || st.Has(keys[1]) {
+		t.Fatal("oldest traces survived the prune")
+	}
+}
+
+// TestTraceStoreIgnoresCorruptFiles: a torn or tampered trace file misses
+// rather than serving garbage, and a mismatched embedded key is rejected.
+func TestTraceStoreIgnoresCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewTraceStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := "00000000000000000000000000000001"
+	if err := os.WriteFile(filepath.Join(dir, torn+".trace"), []byte(`{"campaign":"000`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(torn); ok {
+		t.Fatal("torn trace file served")
+	}
+	// A file whose embedded campaign key disagrees with its name is refused:
+	// the name is the lookup key, the body must corroborate it.
+	swapped := "00000000000000000000000000000002"
+	if err := os.WriteFile(filepath.Join(dir, swapped+".trace"), []byte(`{"campaign":"00000000000000000000000000000003","start":"2026-01-01T00:00:00Z","complete":true,"spans":null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(swapped); ok {
+		t.Fatal("trace with mismatched embedded key served")
+	}
+}
+
+// TestTraceStoreNilSafe: a nil store ignores writes and misses lookups, so
+// call sites never branch on whether -trace-dir was configured.
+func TestTraceStoreNilSafe(t *testing.T) {
+	var st *TraceStore
+	if err := st.Put(TraceSnapshot{Campaign: "abc123"}); err != nil {
+		t.Fatalf("nil store Put errored: %v", err)
+	}
+	if _, ok := st.Get("abc123"); ok {
+		t.Fatal("nil store Get hit")
+	}
+	if st.Has("abc123") || st.Len() != 0 || st.Dir() != "" {
+		t.Fatal("nil store not inert")
+	}
+}

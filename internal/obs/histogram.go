@@ -78,6 +78,137 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram, suitable for
+// shipping over the wire (worker heartbeats) and merging on the far side.
+// Counts has one entry per bound plus the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the current bucket counts. Count is derived from the
+// bucket counts rather than the count atomic: under a concurrent Observe the
+// two can be read at different instants, and a +Inf bucket that disagrees
+// with _count fails exposition validation on the coordinator.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Valid reports whether the snapshot is structurally sound: ascending
+// bounds, one overflow bucket, non-negative counts that sum to Count.
+// Snapshots arrive from workers over the network, so the coordinator
+// validates before merging.
+func (s HistogramSnapshot) Valid() bool {
+	if len(s.Bounds) == 0 || len(s.Counts) != len(s.Bounds)+1 {
+		return false
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		if !(s.Bounds[i] > s.Bounds[i-1]) {
+			return false
+		}
+	}
+	total := int64(0)
+	for _, c := range s.Counts {
+		if c < 0 {
+			return false
+		}
+		total += c
+	}
+	return total == s.Count
+}
+
+// Merge accumulates other into s. Bucket layouts must match (same bounds);
+// mismatched layouts are ignored rather than mis-binned.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if len(s.Bounds) == 0 {
+		s.Bounds = append([]float64(nil), other.Bounds...)
+		s.Counts = make([]int64, len(other.Counts))
+	}
+	if len(other.Counts) != len(s.Counts) || len(other.Bounds) != len(s.Bounds) {
+		return
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return
+		}
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket, the same estimate PromQL's histogram_quantile
+// produces. Returns 0 for an empty snapshot; samples in the +Inf bucket
+// report the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WriteSamples emits the snapshot's cumulative _bucket/_sum/_count sample
+// lines (no # HELP/# TYPE header) under the given name and labels, so a
+// caller can render many label sets within one family.
+func (s HistogramSnapshot) WriteSamples(w io.Writer, name string, labels ...Attr) {
+	prefix := labelPrefix(labels)
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", name, prefix, formatLe(b), cum)
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, cum)
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatSample(s.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+		return
+	}
+	set := labelSet(labels)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, set, formatSample(s.Sum))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, set, cum)
+}
+
 // formatLe renders a bucket bound the way Prometheus expects.
 func formatLe(b float64) string {
 	if math.IsInf(b, 1) {

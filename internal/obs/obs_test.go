@@ -74,9 +74,11 @@ func TestTraceNilSafe(t *testing.T) {
 
 func TestRecorderRing(t *testing.T) {
 	r := NewRecorder(2)
-	r.Begin("a")
-	r.Begin("b")
-	r.Begin("c")
+	// Finished traces are the evictable kind; in-flight ones are pinned
+	// (see TestRecorderPinsInflightTraces).
+	r.Begin("a").Finish()
+	r.Begin("b").Finish()
+	r.Begin("c").Finish()
 	if r.Len() != 2 {
 		t.Fatalf("ring len = %d, want 2", r.Len())
 	}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TraceStore persists finished campaign traces to a bounded on-disk store so
+// `GET /campaigns/{id}/trace` survives a restart of the serving process —
+// the same crash the journal already recovers campaign *results* across.
+// Each trace is one file of compact line-JSON (the TraceSnapshot wire form)
+// named <key>.trace, written with the journal's tmp+fsync+rename discipline
+// so a crash mid-write leaves either the old trace or none, never a torn
+// one. The store holds at most max traces; Put prunes oldest-modified files
+// beyond the bound. A nil *TraceStore ignores writes and misses lookups, so
+// call sites never branch on whether -trace-dir was configured.
+type TraceStore struct {
+	dir string
+	max int
+	mu  sync.Mutex
+}
+
+// DefaultTraceStoreCap bounds the on-disk trace store when no explicit cap
+// is given. Traces are O(spans) small, so this is megabytes, not gigabytes.
+const DefaultTraceStoreCap = 4096
+
+// NewTraceStore opens (creating if needed) a trace store rooted at dir,
+// retaining at most max traces (<= 0 means DefaultTraceStoreCap).
+func NewTraceStore(dir string, max int) (*TraceStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: trace store needs a directory")
+	}
+	if max <= 0 {
+		max = DefaultTraceStoreCap
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: trace store: %w", err)
+	}
+	return &TraceStore{dir: dir, max: max}, nil
+}
+
+// Dir returns the store's root directory ("" for a nil store).
+func (s *TraceStore) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// validStoreKey gates keys used as file names: campaign keys are lowercase
+// hex content addresses, and rejecting everything else keeps path traversal
+// out of the store by construction.
+func validStoreKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *TraceStore) path(key string) string {
+	return filepath.Join(s.dir, key+".trace")
+}
+
+// Put durably writes the snapshot, replacing any previous trace for the same
+// campaign, then prunes oldest files beyond the store's bound.
+func (s *TraceStore) Put(ts TraceSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	if !validStoreKey(ts.Campaign) {
+		return fmt.Errorf("obs: trace store: invalid campaign key %q", ts.Campaign)
+	}
+	data, err := json.Marshal(ts)
+	if err != nil {
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(ts.Campaign) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(ts.Campaign)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: trace store: %w", err)
+	}
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked removes oldest-modified traces beyond the bound. Best-effort:
+// a prune failure never fails the Put that triggered it.
+func (s *TraceStore) pruneLocked() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	traces := make([]aged, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		traces = append(traces, aged{name: e.Name(), mod: info.ModTime().UnixNano()})
+	}
+	if len(traces) <= s.max {
+		return
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].mod < traces[j].mod })
+	for _, t := range traces[:len(traces)-s.max] {
+		os.Remove(filepath.Join(s.dir, t.name))
+	}
+}
+
+// Get loads the stored trace for key. The second result reports whether a
+// well-formed trace was found.
+func (s *TraceStore) Get(key string) (TraceSnapshot, bool) {
+	if s == nil || !validStoreKey(key) {
+		return TraceSnapshot{}, false
+	}
+	s.mu.Lock()
+	data, err := os.ReadFile(s.path(key))
+	s.mu.Unlock()
+	if err != nil {
+		return TraceSnapshot{}, false
+	}
+	var ts TraceSnapshot
+	if err := json.Unmarshal(data, &ts); err != nil || ts.Campaign != key {
+		return TraceSnapshot{}, false
+	}
+	return ts, true
+}
+
+// Has reports whether a trace for key is on disk (without parsing it).
+func (s *TraceStore) Has(key string) bool {
+	if s == nil || !validStoreKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Len counts stored traces (0 for a nil store).
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".trace") {
+			n++
+		}
+	}
+	return n
+}

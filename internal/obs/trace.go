@@ -291,7 +291,10 @@ func NewRecorder(max int) *Recorder {
 
 // Begin starts a fresh trace for key, replacing any previous one (a
 // resubmitted campaign after a failure gets a clean timeline) and evicting
-// the oldest trace beyond the ring capacity.
+// the oldest finished trace beyond the ring capacity. In-flight traces are
+// pinned: a burst of cache-hit probe traces cannot evict a long-running
+// campaign's trace mid-execution, so the ring may transiently exceed max by
+// the number of concurrently executing campaigns (bounded by the queue).
 func (r *Recorder) Begin(key string) *Trace {
 	if r == nil {
 		return nil
@@ -303,9 +306,24 @@ func (r *Recorder) Begin(key string) *Trace {
 		r.order = append(r.order, key)
 	}
 	r.traces[key] = tr
-	for len(r.order) > r.max {
-		delete(r.traces, r.order[0])
-		r.order = r.order[1:]
+	for over := len(r.order) - r.max; over > 0; over-- {
+		evicted := false
+		for i, k := range r.order {
+			t := r.traces[k]
+			t.mu.Lock()
+			pinned := !t.done
+			t.mu.Unlock()
+			if pinned {
+				continue
+			}
+			delete(r.traces, k)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything in flight: keep them all
+		}
 	}
 	return tr
 }

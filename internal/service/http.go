@@ -34,7 +34,14 @@ import (
 //	                              fleet workers stop routing on the 503
 //	GET    /metrics               Prometheus text format: queue depth,
 //	                              in-flight jobs, cache hit/miss counters,
-//	                              per-worker shard counts
+//	                              per-worker shard counts and the federated
+//	                              wffleet_* series
+//	GET    /fleet                 federated fleet view (JSON; ?format=text
+//	                              renders a table): per-worker liveness,
+//	                              heartbeat age, shard counts, exec p50/p99,
+//	                              straggler flags. Tenant-agnostic but still
+//	                              requires a valid API key on a keyed server;
+//	                              404 without a distributor
 //
 // On a multi-tenant server (Config.Tenants set) every /campaigns* route
 // demands a valid API key: submission resolves the key to the tenant that
@@ -48,6 +55,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
@@ -135,25 +143,33 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				obs.EscapeLabel(ws.Name), obs.EscapeLabel(ws.ID), ws.Shards)
 		}
 	}
+	if fr := s.fleet(); fr != nil {
+		writeFleetMetrics(w, fr.Fleet())
+	}
 	s.metrics.Write(w)
 	obs.WriteBuildInfo(w, "wfserve", s.start)
 }
 
-// handleTrace serves a finished or in-flight campaign's span timeline. The
-// recorder is a bounded ring, so old campaigns' traces age out — a 404 here
-// with a 200 on the status route means the trace was evicted (or the job
-// predates this server process), not that the campaign is unknown.
+// handleTrace serves a finished or in-flight campaign's span timeline: from
+// the in-memory ring first, falling back to the durable trace store when the
+// ring misses (evicted, or the trace belongs to a previous incarnation of
+// this server). Both paths serve the same TraceSnapshot wire form, so a
+// disk-served trace is byte-identical to the one served before the restart.
+// Without a trace store, a ring miss is a 404 exactly as before.
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	tr := s.trace.Lookup(j.Key)
-	if tr == nil {
+	var snap obs.TraceSnapshot
+	if tr := s.trace.Lookup(j.Key); tr != nil {
+		snap = tr.Snapshot()
+	} else if stored, ok := s.traceStore.Get(j.Key); ok {
+		snap = stored
+	} else {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no trace recorded for campaign %q", j.Key))
 		return
 	}
-	snap := tr.Snapshot()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)

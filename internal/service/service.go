@@ -39,6 +39,11 @@ type Config struct {
 	// /campaigns/{id}/trace (default obs.DefaultTraceCap). Memory is
 	// O(campaigns retained), never O(rounds).
 	TraceCap int
+	// TraceDir, when non-empty, spills finished campaign traces to a bounded
+	// on-disk store (obs.TraceStore): /campaigns/{id}/trace then survives
+	// both ring eviction and process restarts. Empty keeps traces
+	// memory-only, exactly as before.
+	TraceDir string
 	// Tenants, when set, turns on multi-tenancy: SubmitFor resolves API keys
 	// against it (unknown keys get ErrUnauthorized) and the fair-share
 	// scheduler apportions execution slots by tenant weight. nil leaves the
@@ -122,10 +127,12 @@ type Service struct {
 	// trace retains recent campaign span trees for /campaigns/{id}/trace;
 	// metrics is the fixed-bucket histogram set /metrics exposes. Both are
 	// handed to runners through the job context (obs.With), never through
-	// extra parameters.
-	trace   *obs.Recorder
-	metrics *obs.Metrics
-	start   time.Time
+	// extra parameters. traceStore is the durable spill tier (nil without
+	// Config.TraceDir — every use is nil-safe).
+	trace      *obs.Recorder
+	traceStore *obs.TraceStore
+	metrics    *obs.Metrics
+	start      time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -177,11 +184,19 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var traceStore *obs.TraceStore
+	if cfg.TraceDir != "" {
+		traceStore, err = obs.NewTraceStore(cfg.TraceDir, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:        cfg,
 		cache:      cache,
 		trace:      obs.NewRecorder(cfg.TraceCap),
+		traceStore: traceStore,
 		metrics:    obs.NewMetrics(),
 		start:      time.Now(),
 		baseCtx:    ctx,
@@ -293,9 +308,10 @@ func (s *Service) submit(req winofault.CampaignRequest, t *Tenant) (*Job, error)
 
 // traceCacheHit synthesizes a probe-only trace for a campaign answered
 // straight from the cache — unless a real run already recorded a richer
-// timeline for the key, which a synthetic one must never overwrite.
+// timeline for the key (in the ring, or spilled to disk by a previous
+// incarnation), which a synthetic one must never overwrite or shadow.
 func (s *Service) traceCacheHit(key string, vStart time.Time, vDur time.Duration, pStart time.Time, pDur time.Duration) {
-	if s.trace.Lookup(key) != nil {
+	if s.trace.Lookup(key) != nil || s.traceStore.Has(key) {
 		return
 	}
 	tr := s.trace.Begin(key)
@@ -443,6 +459,15 @@ func (s *Service) runJob(j *Job) {
 		s.metrics.Campaign.ObserveSince(j.enqueuedAt)
 	}
 	j.o.Trace.Finish()
+	// Spill the finished timeline to the durable store (nil-safe no-op
+	// without -trace-dir): after a restart the trace is served from disk,
+	// byte-identical — the snapshot round-trips JSON stably (sorted map keys,
+	// shortest floats, offset-preserving RFC3339 times).
+	if s.traceStore != nil {
+		if serr := s.traceStore.Put(j.o.Trace.Snapshot()); serr != nil {
+			s.cfg.Logger.Error("service: trace persist failed", "campaign", shortKey(j.Key), "err", serr)
+		}
+	}
 	s.mu.Lock()
 	if err != nil {
 		// The failed job stays addressable for status polls but is
